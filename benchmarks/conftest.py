@@ -1,0 +1,52 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+The paper's Figs. 3-11 all plot the same 46-cell experiment mix (92
+simulations when paired); :func:`suite_results` runs it once per session.
+Figs. 13-16 share one lead sweep.  The standalone sweeps (Figs. 1, 12,
+V-D, V-F, extensions) run inside their own benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_lead_sweep, run_suite
+from repro.experiments.figures import FigureData
+from repro.metrics import render_table
+
+SEED = 1
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """The full paired suite (92 simulations, ~1 minute)."""
+    return run_suite(seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def lead_sweep_data():
+    """The Section V-E minimum-prefetch-lead sweep (~1 minute).
+
+    Set ``RAPID_LEAD_FULL=1`` to run the paper's exact sizing (2000
+    reads/process for local patterns — roughly 15 minutes).
+    """
+    import os
+
+    full = os.environ.get("RAPID_LEAD_FULL") == "1"
+    return run_lead_sweep(
+        seed=SEED, local_reads_per_node=2000 if full else 400
+    )
+
+
+def report_figure(fig: FigureData, max_rows: int = 60) -> None:
+    """Print the reproduced figure and assert its paper-shape checks."""
+    rows = fig.rows[:max_rows]
+    print()
+    print(render_table(fig.columns, rows, title=f"[{fig.figure_id}] {fig.title}"))
+    if len(fig.rows) > max_rows:
+        print(f"... ({len(fig.rows) - max_rows} more rows)")
+    if fig.notes:
+        print(f"note: {fig.notes}")
+    for name, ok in fig.checks.items():
+        print(f"check {name}: {'PASS' if ok else 'FAIL'}")
+    assert fig.all_checks_pass, f"failed checks: {fig.failed_checks()}"

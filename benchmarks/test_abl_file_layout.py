@@ -1,0 +1,12 @@
+"""Ablation: round-robin interleaving vs coarse striping vs hashing."""
+
+from repro.experiments import ablation_file_layout
+
+from .conftest import SEED, report_figure
+
+
+def test_ablation_file_layout(benchmark):
+    fig = benchmark.pedantic(
+        ablation_file_layout, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    report_figure(fig)

@@ -1,0 +1,13 @@
+"""Ablation: the Section V-D 'initial implementation' story — naive vs
+replicated NUMA placement of the shared file-system structures."""
+
+from repro.experiments import ablation_numa_layout
+
+from .conftest import SEED, report_figure
+
+
+def test_ablation_numa_layout(benchmark):
+    fig = benchmark.pedantic(
+        ablation_numa_layout, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    report_figure(fig)

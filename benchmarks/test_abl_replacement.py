@@ -1,0 +1,12 @@
+"""Ablation: per-processor RU-set replacement vs strict global LRU."""
+
+from repro.experiments import ablation_replacement
+
+from .conftest import SEED, report_figure
+
+
+def test_ablation_replacement(benchmark):
+    fig = benchmark.pedantic(
+        ablation_replacement, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    report_figure(fig)

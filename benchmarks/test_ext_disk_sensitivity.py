@@ -1,0 +1,12 @@
+"""Extension D: disk-model sensitivity of the prefetching win."""
+
+from repro.experiments import ext_disk_sensitivity
+
+from .conftest import SEED, report_figure
+
+
+def test_ext_disk_sensitivity(benchmark):
+    fig = benchmark.pedantic(
+        ext_disk_sensitivity, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    report_figure(fig)

@@ -1,0 +1,13 @@
+"""Extension C: hybrid access patterns (half lw, half lfp) — budget
+interference across pattern classes."""
+
+from repro.experiments import ext_hybrid_patterns
+
+from .conftest import SEED, report_figure
+
+
+def test_ext_hybrid_patterns(benchmark):
+    fig = benchmark.pedantic(
+        ext_hybrid_patterns, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    report_figure(fig)

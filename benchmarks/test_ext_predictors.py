@@ -1,0 +1,14 @@
+"""Extension A (paper Section VI future work): on-the-fly predictors vs
+the oracle upper bound."""
+
+from repro.experiments import ext_predictor_comparison
+
+from .conftest import SEED, report_figure
+
+
+def test_ext_predictors(benchmark):
+    fig = benchmark.pedantic(
+        ext_predictor_comparison, kwargs={"seed": SEED}, rounds=1,
+        iterations=1,
+    )
+    report_figure(fig)

@@ -1,0 +1,12 @@
+"""Extension B (paper Section VI future work): processor/disk scaling."""
+
+from repro.experiments import ext_scalability
+
+from .conftest import SEED, report_figure
+
+
+def test_ext_scalability(benchmark):
+    fig = benchmark.pedantic(
+        ext_scalability, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    report_figure(fig)

@@ -1,0 +1,12 @@
+"""Fig. 1's pathology: uneven distribution of prefetching benefit (lfp)."""
+
+from repro.experiments import fig1_uneven_benefit
+
+from .conftest import SEED, report_figure
+
+
+def test_fig1_uneven_benefit(benchmark):
+    fig = benchmark.pedantic(
+        fig1_uneven_benefit, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    report_figure(fig)

@@ -1,0 +1,10 @@
+"""Fig. 3: average block read time, prefetch vs none (see DESIGN.md experiment index)."""
+
+from repro.experiments import fig3_read_time
+
+from .conftest import report_figure
+
+
+def test_fig3_read_time(benchmark, suite_results):
+    fig = benchmark(fig3_read_time, suite_results)
+    report_figure(fig)

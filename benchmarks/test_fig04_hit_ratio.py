@@ -1,0 +1,10 @@
+"""Fig. 4: hit-ratio CDFs with and without prefetching (see DESIGN.md experiment index)."""
+
+from repro.experiments import fig4_hit_ratio
+
+from .conftest import report_figure
+
+
+def test_fig4_hit_ratio(benchmark, suite_results):
+    fig = benchmark(fig4_hit_ratio, suite_results)
+    report_figure(fig)

@@ -1,0 +1,10 @@
+"""Fig. 5: ready vs unready hit fractions (see DESIGN.md experiment index)."""
+
+from repro.experiments import fig5_ready_unready
+
+from .conftest import report_figure
+
+
+def test_fig5_ready_unready(benchmark, suite_results):
+    fig = benchmark(fig5_ready_unready, suite_results)
+    report_figure(fig)

@@ -1,0 +1,10 @@
+"""Fig. 6: read time vs hit-wait time (see DESIGN.md experiment index)."""
+
+from repro.experiments import fig6_hitwait_vs_readtime
+
+from .conftest import report_figure
+
+
+def test_fig6_hitwait_vs_readtime(benchmark, suite_results):
+    fig = benchmark(fig6_hitwait_vs_readtime, suite_results)
+    report_figure(fig)

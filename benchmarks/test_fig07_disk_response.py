@@ -1,0 +1,10 @@
+"""Fig. 7: disk response time, prefetch vs none (see DESIGN.md experiment index)."""
+
+from repro.experiments import fig7_disk_response
+
+from .conftest import report_figure
+
+
+def test_fig7_disk_response(benchmark, suite_results):
+    fig = benchmark(fig7_disk_response, suite_results)
+    report_figure(fig)

@@ -1,0 +1,10 @@
+"""Fig. 8: total execution time, prefetch vs none (see DESIGN.md experiment index)."""
+
+from repro.experiments import fig8_total_time
+
+from .conftest import report_figure
+
+
+def test_fig8_total_time(benchmark, suite_results):
+    fig = benchmark(fig8_total_time, suite_results)
+    report_figure(fig)

@@ -1,0 +1,10 @@
+"""Fig. 9: synchronization time, prefetch vs none (see DESIGN.md experiment index)."""
+
+from repro.experiments import fig9_sync_time
+
+from .conftest import report_figure
+
+
+def test_fig9_sync_time(benchmark, suite_results):
+    fig = benchmark(fig9_sync_time, suite_results)
+    report_figure(fig)

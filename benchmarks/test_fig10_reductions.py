@@ -1,0 +1,10 @@
+"""Fig. 10: total-time vs read-time reduction (see DESIGN.md experiment index)."""
+
+from repro.experiments import fig10_reductions
+
+from .conftest import report_figure
+
+
+def test_fig10_reductions(benchmark, suite_results):
+    fig = benchmark(fig10_reductions, suite_results)
+    report_figure(fig)

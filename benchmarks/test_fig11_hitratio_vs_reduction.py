@@ -1,0 +1,10 @@
+"""Fig. 11: total-time reduction vs hit ratio (see DESIGN.md experiment index)."""
+
+from repro.experiments import fig11_hitratio_vs_reduction
+
+from .conftest import report_figure
+
+
+def test_fig11_hitratio_vs_reduction(benchmark, suite_results):
+    fig = benchmark(fig11_hitratio_vs_reduction, suite_results)
+    report_figure(fig)

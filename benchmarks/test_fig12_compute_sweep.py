@@ -1,0 +1,15 @@
+"""Fig. 12: total-time improvement vs per-block computation (Section V-C).
+
+Runs its own 18-simulation sweep (gw, per-proc sync, compute mean swept
+from I/O-bound to compute-bound)."""
+
+from repro.experiments import fig12_compute_sweep
+
+from .conftest import SEED, report_figure
+
+
+def test_fig12_compute_sweep(benchmark):
+    fig = benchmark.pedantic(
+        fig12_compute_sweep, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    report_figure(fig)

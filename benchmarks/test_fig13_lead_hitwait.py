@@ -1,0 +1,10 @@
+"""Fig. 13: hit-wait time vs minimum prefetch lead (Section V-E; shares the session lead sweep)."""
+
+from repro.experiments import fig13_lead_hitwait
+
+from .conftest import report_figure
+
+
+def test_fig13_lead_hitwait(benchmark, lead_sweep_data):
+    fig = benchmark(fig13_lead_hitwait, lead_sweep_data)
+    report_figure(fig)

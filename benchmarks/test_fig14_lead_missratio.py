@@ -1,0 +1,10 @@
+"""Fig. 14: miss ratio vs minimum prefetch lead (Section V-E; shares the session lead sweep)."""
+
+from repro.experiments import fig14_lead_missratio
+
+from .conftest import report_figure
+
+
+def test_fig14_lead_missratio(benchmark, lead_sweep_data):
+    fig = benchmark(fig14_lead_missratio, lead_sweep_data)
+    report_figure(fig)

@@ -1,0 +1,10 @@
+"""Fig. 15: block read time vs minimum prefetch lead (Section V-E; shares the session lead sweep)."""
+
+from repro.experiments import fig15_lead_readtime
+
+from .conftest import report_figure
+
+
+def test_fig15_lead_readtime(benchmark, lead_sweep_data):
+    fig = benchmark(fig15_lead_readtime, lead_sweep_data)
+    report_figure(fig)

@@ -1,0 +1,10 @@
+"""Fig. 16: total execution time vs minimum prefetch lead (Section V-E; shares the session lead sweep)."""
+
+from repro.experiments import fig16_lead_totaltime
+
+from .conftest import report_figure
+
+
+def test_fig16_lead_totaltime(benchmark, lead_sweep_data):
+    fig = benchmark(fig16_lead_totaltime, lead_sweep_data)
+    report_figure(fig)

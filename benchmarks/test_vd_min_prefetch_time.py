@@ -1,0 +1,13 @@
+"""Section V-D: the minimum-prefetch-time throttle ('an unproductive
+idea': overrun falls, hit ratio degrades, no net total-time win)."""
+
+from repro.experiments import vd_min_prefetch_time
+
+from .conftest import SEED, report_figure
+
+
+def test_vd_min_prefetch_time(benchmark):
+    fig = benchmark.pedantic(
+        vd_min_prefetch_time, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    report_figure(fig)

@@ -1,0 +1,13 @@
+"""Section V-F: prefetch buffers per process (1 is worse; 2-5 differ
+little)."""
+
+from repro.experiments import vf_buffer_count
+
+from .conftest import SEED, report_figure
+
+
+def test_vf_buffer_count(benchmark):
+    fig = benchmark.pedantic(
+        vf_buffer_count, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    report_figure(fig)

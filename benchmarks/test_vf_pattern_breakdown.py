@@ -1,0 +1,10 @@
+"""Section V-F: per-pattern breakdown (lw benefits most; lfp least)."""
+
+from repro.experiments import vf_pattern_breakdown
+
+from .conftest import report_figure
+
+
+def test_vf_pattern_breakdown(benchmark, suite_results):
+    fig = benchmark(vf_pattern_breakdown, suite_results)
+    report_figure(fig)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Tuning: how much computation makes prefetching worthwhile?
+
+Scenario: your parallel VLSI-simulation loader reads a block, then spends
+some CPU time processing it.  How does the benefit of file prefetching
+depend on that per-block computation?  This reproduces the Section V-C
+sweep (the paper's Fig. 12): gw pattern, barrier every 10 blocks per
+processor, per-block compute swept from I/O-bound to compute-bound.
+
+Run:  python examples/compute_io_balance.py
+"""
+
+from repro import ExperimentConfig, run_pair
+from repro.metrics import render_table
+
+
+def main() -> None:
+    rows = []
+    for compute in (0.0, 5.0, 10.0, 20.0, 30.0, 60.0, 120.0):
+        config = ExperimentConfig(
+            pattern="gw",
+            sync_style="per-proc",
+            compute_mean=compute,
+            seed=1,
+        )
+        pf, base = run_pair(config)
+        rows.append(
+            (
+                compute,
+                100.0 * (base.total_time - pf.total_time) / base.total_time,
+                100.0 * (base.avg_read_time - pf.avg_read_time)
+                / base.avg_read_time,
+                pf.prefetch_action_mean,
+                pf.disk_response_mean,
+            )
+        )
+    print(render_table(
+        ["compute/block (ms)", "total time saved %", "read time saved %",
+         "prefetch action (ms)", "disk response (ms)"],
+        rows,
+        title="gw: prefetching benefit vs per-block computation",
+    ))
+    print()
+    print("The hump (the paper's key Section V-C observation): with no")
+    print("computation the disks are already saturated, so prefetching")
+    print("cannot create bandwidth; with heavy computation I/O no longer")
+    print("matters.  In between, prefetching overlaps I/O with compute and")
+    print("the savings peak.  Also note prefetch actions get *faster* as")
+    print("computation increases — less contention for the shared cache")
+    print("structures (the paper measured 22 ms -> 5 ms).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: does prefetching help a parallel sequential read?
+
+Runs the paper's flagship workload — 20 processes cooperatively reading a
+2000-block interleaved file (the ``gw`` pattern), synchronizing every 10
+blocks per processor — once with the prefetching file system and once
+without, on the same seed, and prints the comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, run_pair
+from repro.metrics import render_table
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        pattern="gw",          # global whole-file: self-scheduled reads
+        sync_style="per-proc", # barrier every 10 blocks per processor
+        compute_mean=30.0,     # ~balanced compute vs I/O (Exp(30 ms))
+        seed=1,
+    )
+    prefetch, baseline = run_pair(config)
+
+    rows = [
+        ("total execution time (ms)", baseline.total_time,
+         prefetch.total_time),
+        ("avg block read time (ms)", baseline.avg_read_time,
+         prefetch.avg_read_time),
+        ("cache hit ratio", baseline.hit_ratio, prefetch.hit_ratio),
+        ("ready-hit fraction", baseline.ready_hit_fraction,
+         prefetch.ready_hit_fraction),
+        ("unready-hit fraction", baseline.unready_hit_fraction,
+         prefetch.unready_hit_fraction),
+        ("avg hit-wait time (ms)", baseline.avg_hit_wait,
+         prefetch.avg_hit_wait),
+        ("avg disk response (ms)", baseline.disk_response_mean,
+         prefetch.disk_response_mean),
+        ("blocks prefetched", baseline.blocks_prefetched,
+         prefetch.blocks_prefetched),
+    ]
+    print(render_table(
+        ["measure", "no prefetch", "prefetch"],
+        rows,
+        title="gw / per-proc sync / balanced  (20 procs, 20 disks, "
+              "2000 x 1KB blocks)",
+    ))
+
+    saved = baseline.total_time - prefetch.total_time
+    pct = 100.0 * saved / baseline.total_time
+    print(f"\nPrefetching saved {saved:.0f} ms ({pct:.0f}% of the run).")
+    print("Note the paper's headline caveat: the hit ratio alone would")
+    print("overstate the win — unready hits still wait on I/O, and disk")
+    print("contention rises under prefetching.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Offline trace analysis: would a bigger cache have helped?
+
+Scenario: before buying more buffer memory, you want to know whether your
+workload's misses come from capacity (fix: bigger cache) or from cold
+sequential access (fix: prefetching).  The testbed records every access —
+"the exact access pattern is recorded for off-line analysis" (Section
+IV-C) — and the offline tools answer what-if questions without re-running
+the machine.
+
+Run:  python examples/trace_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import ExperimentConfig, run_experiment
+from repro.experiments.analysis import (
+    lru_hit_ratio,
+    opt_hit_ratio,
+    run_lengths,
+    sequentiality,
+)
+from repro.fs import Trace
+from repro.metrics import render_table
+
+
+def main() -> None:
+    print("Recording traces for two contrasting patterns (no prefetch)...")
+    traces = {}
+    for pattern in ("gw", "lw"):
+        result = run_experiment(
+            ExperimentConfig(
+                pattern=pattern,
+                sync_style="none",
+                compute_mean=0.0,
+                prefetch=False,
+                record_trace=True,
+                seed=1,
+            )
+        )
+        traces[pattern] = result.trace
+
+    # Traces round-trip through files (JSON lines).
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "gw.trace.jsonl"
+        traces["gw"].save(path)
+        traces["gw"] = Trace.load(path)
+
+    rows = []
+    for pattern, trace in traces.items():
+        seq = sequentiality(trace)
+        for cache_blocks in (20, 80, 400):
+            rows.append(
+                (
+                    pattern,
+                    cache_blocks,
+                    lru_hit_ratio(trace, cache_blocks),
+                    opt_hit_ratio(trace, cache_blocks),
+                    seq["successor_fraction"],
+                )
+            )
+    print(render_table(
+        ["pattern", "cache blocks", "LRU hit ratio", "OPT bound",
+         "global sequentiality"],
+        rows,
+        title="What-if caching (demand only, no prefetching)",
+    ))
+
+    print()
+    print("gw: no reuse at any cache size — caching alone is useless; the")
+    print("high global sequentiality is exactly what prefetching exploits.")
+    print("lw: every block is read by all 20 processes — even the paper's")
+    print("tiny 20-block cache captures reuse, and OPT shows the ceiling.")
+
+    runs = run_lengths(traces["lw"])
+    mean_run = sum(sum(r) for r in runs.values()) / max(
+        1, sum(len(r) for r in runs.values())
+    )
+    print(f"\nlw per-node sequential run length: mean {mean_run:.0f} blocks "
+          "(long runs => a local predictor would find this pattern too).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so that ``pip install -e . --no-use-pep517`` works on environments
+without the ``wheel`` package (no-network installs); all real metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""RAPID Transit reproduction.
+
+A discrete-event reproduction of Kotz & Ellis, *Prefetching in File
+Systems for MIMD Multiprocessors* (ICPP 1989): the RAPID Transit file
+system testbed on a simulated Butterfly Plus-class NUMA multiprocessor
+with parallel independent disks.
+
+Quick start::
+
+    from repro import ExperimentConfig, run_pair
+
+    pf, base = run_pair(ExperimentConfig(pattern="gw", sync_style="per-proc"))
+    print(f"total time {base.total_time:.0f} -> {pf.total_time:.0f} ms")
+    print(f"hit ratio  {base.hit_ratio:.2f} -> {pf.hit_ratio:.2f}")
+
+Packages: :mod:`repro.sim` (DES kernel), :mod:`repro.machine` (NUMA nodes,
+disks), :mod:`repro.fs` (interleaved files, block cache),
+:mod:`repro.prefetch` (policies + daemon), :mod:`repro.workload` (access
+patterns, synchronization), :mod:`repro.metrics`, and
+:mod:`repro.experiments` (runner, figures, analysis).
+"""
+
+from .experiments.config import ExperimentConfig
+from .experiments.runner import RunResult, run_experiment, run_pair
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "RunResult",
+    "run_experiment",
+    "run_pair",
+    "__version__",
+]

@@ -1,0 +1,366 @@
+"""Command-line interface: ``rapid-transit`` / ``python -m repro``.
+
+Subcommands:
+
+* ``run``     — run one experiment cell (pattern/sync/intensity) paired
+  with its no-prefetch baseline and print the comparison;
+* ``suite``   — run the full paper mix and print the summary table;
+* ``figure``  — regenerate one paper figure (fig1, fig3..fig16, vd,
+  vf-buffers, vf-patterns, the ext-* extensions, and the abl-* ablations)
+  and print its table and shape checks (``--scatter`` adds the y=x view);
+* ``sweep``   — sweep any ExperimentConfig parameter with paired runs;
+* ``report``  — regenerate *every* figure into a markdown report;
+* ``analyze`` — offline analysis of a saved trace (JSON lines): what-if
+  hit ratios, sequentiality, and Fig. 2 taxonomy classification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    ExperimentConfig,
+    ablation_file_layout,
+    ablation_numa_layout,
+    ablation_replacement,
+    ext_disk_sensitivity,
+    ext_hybrid_patterns,
+    fig1_uneven_benefit,
+    fig3_read_time,
+    fig4_hit_ratio,
+    fig5_ready_unready,
+    fig6_hitwait_vs_readtime,
+    fig7_disk_response,
+    fig8_total_time,
+    fig9_sync_time,
+    fig10_reductions,
+    fig11_hitratio_vs_reduction,
+    fig12_compute_sweep,
+    fig13_lead_hitwait,
+    fig14_lead_missratio,
+    fig15_lead_readtime,
+    fig16_lead_totaltime,
+    ext_predictor_comparison,
+    ext_scalability,
+    run_experiment,
+    run_lead_sweep,
+    run_suite,
+    vd_min_prefetch_time,
+    vf_buffer_count,
+    vf_pattern_breakdown,
+)
+from .experiments.figures import FigureData
+from .metrics.report import render_table
+from .workload.patterns import PATTERN_NAMES
+from .workload.synchronization import SYNC_STYLES
+
+__all__ = ["main"]
+
+
+_SUITE_FIGURES = {
+    "fig3": fig3_read_time,
+    "fig4": fig4_hit_ratio,
+    "fig5": fig5_ready_unready,
+    "fig6": fig6_hitwait_vs_readtime,
+    "fig7": fig7_disk_response,
+    "fig8": fig8_total_time,
+    "fig9": fig9_sync_time,
+    "fig10": fig10_reductions,
+    "fig11": fig11_hitratio_vs_reduction,
+    "vf-patterns": vf_pattern_breakdown,
+}
+
+_LEAD_FIGURES = {
+    "fig13": fig13_lead_hitwait,
+    "fig14": fig14_lead_missratio,
+    "fig15": fig15_lead_readtime,
+    "fig16": fig16_lead_totaltime,
+}
+
+_STANDALONE_FIGURES = {
+    "fig1": fig1_uneven_benefit,
+    "fig12": fig12_compute_sweep,
+    "vd": vd_min_prefetch_time,
+    "vf-buffers": vf_buffer_count,
+    "ext-predictors": ext_predictor_comparison,
+    "ext-scalability": ext_scalability,
+    "ext-hybrid": ext_hybrid_patterns,
+    "ext-disk": ext_disk_sensitivity,
+    "abl-numa": ablation_numa_layout,
+    "abl-replacement": ablation_replacement,
+    "abl-layout": ablation_file_layout,
+}
+
+FIGURE_IDS = sorted(
+    list(_SUITE_FIGURES) + list(_LEAD_FIGURES) + list(_STANDALONE_FIGURES)
+)
+
+
+def _print_figure(fig: FigureData, scatter: bool = False) -> None:
+    print(render_table(fig.columns, fig.rows, title=fig.title))
+    if scatter:
+        points = fig.paired_points()
+        if points is not None:
+            from .metrics.report import render_scatter
+
+            print()
+            print(render_scatter(
+                points,
+                diagonal=True,
+                xlabel=fig.columns[1],
+                ylabel=fig.columns[2],
+                title="below the diagonal = prefetching wins",
+            ))
+        else:
+            print("(no y=x scatter view for this figure)")
+    if fig.notes:
+        print(f"note: {fig.notes}")
+    for name, ok in fig.checks.items():
+        print(f"check {name}: {'PASS' if ok else 'FAIL'}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        pattern=args.pattern,
+        sync_style=args.sync,
+        compute_mean=args.compute,
+        seed=args.seed,
+        policy=args.policy,
+        lead=args.lead,
+    )
+    pf = run_experiment(config)
+    base = run_experiment(config.paired_baseline())
+    rows = []
+    for name, get in [
+        ("total time (ms)", lambda r: r.total_time),
+        ("avg block read time (ms)", lambda r: r.avg_read_time),
+        ("hit ratio", lambda r: r.hit_ratio),
+        ("ready-hit fraction", lambda r: r.ready_hit_fraction),
+        ("unready-hit fraction", lambda r: r.unready_hit_fraction),
+        ("avg hit-wait, all hits (ms)", lambda r: r.avg_hit_wait_all),
+        ("avg hit-wait, unready only (ms)", lambda r: r.avg_hit_wait),
+        ("disk response (ms)", lambda r: r.disk_response_mean),
+        ("sync wait mean (ms)", lambda r: r.sync_wait_mean),
+        ("overrun mean (ms)", lambda r: r.overrun_mean),
+        ("blocks prefetched", lambda r: r.blocks_prefetched),
+        ("blocks demand fetched", lambda r: r.blocks_demand_fetched),
+        ("prefetch action mean (ms)", lambda r: r.prefetch_action_mean),
+    ]:
+        rows.append((name, get(base), get(pf)))
+    print(
+        render_table(
+            ["measure", "no-prefetch", "prefetch"],
+            rows,
+            title=f"{config.pattern}/{config.sync_style}/"
+            f"{config.intensity} (seed {config.seed})",
+        )
+    )
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    suite = run_suite(
+        seed=args.seed,
+        progress=(lambda msg: print(msg, file=sys.stderr))
+        if args.verbose
+        else None,
+    )
+    rows = [
+        (
+            p.label,
+            p.baseline.total_time,
+            p.prefetch.total_time,
+            p.total_time_reduction,
+            p.read_time_reduction,
+            p.prefetch.hit_ratio,
+        )
+        for p in suite.pairs
+    ]
+    print(
+        render_table(
+            [
+                "experiment",
+                "base total",
+                "pf total",
+                "total red %",
+                "read red %",
+                "hit ratio",
+            ],
+            rows,
+            title=f"Full suite, seed {suite.seed} ({len(rows)} cells)",
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    fig_id = args.id
+    if fig_id in _SUITE_FIGURES:
+        suite = run_suite(seed=args.seed)
+        fig = _SUITE_FIGURES[fig_id](suite)
+    elif fig_id in _LEAD_FIGURES:
+        sweep = run_lead_sweep(seed=args.seed)
+        fig = _LEAD_FIGURES[fig_id](sweep)
+    elif fig_id in _STANDALONE_FIGURES:
+        fig = _STANDALONE_FIGURES[fig_id](seed=args.seed)
+    else:
+        print(f"unknown figure {fig_id!r}; known: {FIGURE_IDS}",
+              file=sys.stderr)
+        return 2
+    _print_figure(fig, scatter=args.scatter)
+    return 0 if fig.all_checks_pass else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.sweeps import SweepResult, run_sweep
+
+    base = ExperimentConfig(
+        pattern=args.pattern,
+        sync_style=args.sync,
+        compute_mean=args.compute,
+        seed=args.seed,
+    )
+    # Values are parsed as int, then float, then kept as strings.
+    values = []
+    for raw in args.values:
+        for cast in (int, float):
+            try:
+                values.append(cast(raw))
+                break
+            except ValueError:
+                continue
+        else:
+            values.append(raw)
+    sweep = run_sweep(args.param, values, base=base)
+    print(
+        render_table(
+            SweepResult.COLUMNS,
+            sweep.rows(),
+            title=f"sweep {args.param} on {base.pattern}/{base.sync_style}",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report_gen import generate_report
+
+    figures = generate_report(
+        args.output,
+        seed=args.seed,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    n_checks = sum(len(f.checks) for f in figures)
+    n_pass = sum(sum(f.checks.values()) for f in figures)
+    print(f"wrote {args.output}: {n_pass}/{n_checks} checks pass")
+    return 0 if n_pass == n_checks else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .experiments.analysis import (
+        classify_pattern,
+        lru_hit_ratio,
+        opt_hit_ratio,
+        run_lengths,
+        sequentiality,
+    )
+    from .fs.trace import Trace
+
+    trace = Trace.load(args.trace)
+    print(f"{len(trace)} accesses; outcomes {trace.outcome_counts()}")
+    seq = sequentiality(trace)
+    print(
+        f"global sequentiality: successor {seq['successor_fraction']:.2f}, "
+        f"monotone {seq['monotone_fraction']:.2f}"
+    )
+    klass = classify_pattern(trace)
+    print(
+        f"taxonomy (Fig. 2): looks like '{klass.name}' — scope "
+        f"{klass.scope}, {'overlapped' if klass.overlapped else 'disjoint'},"
+        f" {'regular' if klass.regular_portions else 'irregular'} portions"
+    )
+    for size in args.cache_sizes:
+        print(
+            f"what-if cache of {size} blocks: "
+            f"LRU hit ratio {lru_hit_ratio(trace, size):.3f}, "
+            f"OPT bound {opt_hit_ratio(trace, size):.3f}"
+        )
+    runs = run_lengths(trace)
+    lengths = [length for rs in runs.values() for length in rs]
+    if lengths:
+        print(
+            f"sequential runs: {len(lengths)} runs, mean length "
+            f"{sum(lengths) / len(lengths):.1f}, max {max(lengths)}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rapid-transit",
+        description="RAPID Transit reproduction (Kotz & Ellis, ICPP 1989)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment cell (paired)")
+    p_run.add_argument("--pattern", choices=PATTERN_NAMES, default="gw")
+    p_run.add_argument("--sync", choices=SYNC_STYLES, default="per-proc")
+    p_run.add_argument("--compute", type=float, default=30.0,
+                       help="mean per-block compute time (ms)")
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--policy", default="oracle",
+                       choices=["oracle", "obl", "portion", "global-seq"])
+    p_run.add_argument("--lead", type=int, default=0)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_suite = sub.add_parser("suite", help="run the full paper mix")
+    p_suite.add_argument("--seed", type=int, default=1)
+    p_suite.add_argument("--verbose", action="store_true")
+    p_suite.set_defaults(func=_cmd_suite)
+
+    p_fig = sub.add_parser("figure", help="regenerate one paper figure")
+    p_fig.add_argument("id", choices=FIGURE_IDS)
+    p_fig.add_argument("--seed", type=int, default=1)
+    p_fig.add_argument(
+        "--scatter", action="store_true",
+        help="also render the y=x ASCII scatter (paired figures)",
+    )
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep one ExperimentConfig parameter (paired runs)"
+    )
+    p_sweep.add_argument("param", help="field to sweep, e.g. lead")
+    p_sweep.add_argument("values", nargs="+", help="values to try")
+    p_sweep.add_argument("--pattern", choices=PATTERN_NAMES, default="gw")
+    p_sweep.add_argument("--sync", choices=SYNC_STYLES, default="per-proc")
+    p_sweep.add_argument("--compute", type=float, default=30.0)
+    p_sweep.add_argument("--seed", type=int, default=1)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_rep = sub.add_parser(
+        "report", help="regenerate every figure into a markdown report"
+    )
+    p_rep.add_argument("-o", "--output", default="REPORT.md")
+    p_rep.add_argument("--seed", type=int, default=1)
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_an = sub.add_parser("analyze", help="offline trace analysis")
+    p_an.add_argument("trace", help="trace file (JSON lines)")
+    p_an.add_argument(
+        "--cache-sizes", type=int, nargs="+", default=[20, 80, 200]
+    )
+    p_an.set_defaults(func=_cmd_analyze)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Experiment configuration.
+
+One :class:`ExperimentConfig` describes a single run: the machine, the
+file, the workload cell (pattern x sync style x intensity), and the
+prefetching setup.  Defaults are the paper's fixed parameters (Section
+IV-D).  Everything is a plain value so configs hash/compare cleanly and
+can be swept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from ..machine.costs import CostModel
+from ..workload.patterns import PATTERN_NAMES
+from ..workload.synchronization import SYNC_STYLES
+
+__all__ = ["ExperimentConfig"]
+
+
+_POLICIES = ("oracle", "obl", "portion", "global-seq", "global-portion", "null")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full description of one experimental run."""
+
+    # Workload cell.
+    pattern: str = "gw"
+    sync_style: str = "none"
+    #: Mean per-block compute time, ms (0 = I/O bound).
+    compute_mean: float = 30.0
+
+    # Prefetching.
+    prefetch: bool = True
+    #: Policy when prefetching: "oracle" (the paper) or an on-the-fly
+    #: predictor ("obl", "portion", "global-seq").
+    policy: str = "oracle"
+    #: Minimum prefetch lead in references (Section V-E).
+    lead: int = 0
+    #: Minimum-prefetch-time throttle, ms (Section V-D).
+    min_prefetch_time: float = 0.0
+
+    # Machine (paper defaults).
+    n_nodes: int = 20
+    n_disks: int = 20
+    costs: CostModel = field(default_factory=CostModel)
+    replicated_structures: bool = True
+    disk_model: str = "fixed"
+
+    # File and workload sizing (paper defaults).
+    #: Block-to-disk layout: "round-robin" (the paper's interleave),
+    #: "striped" (coarse stripes of ``stripe_width``), or "hashed".
+    layout: str = "round-robin"
+    stripe_width: int = 8
+    file_blocks: int = 2000
+    #: Total reads across all processes; None = 2000 (the paper's
+    #: standard).  The Section V-E lead experiments use 40000 for local
+    #: patterns.
+    total_reads: Optional[int] = None
+
+    #: Fixed-portion geometry (lfp/gfp); the paper gives no values —
+    #: see DESIGN.md §5 for the defaults' rationale.
+    portion_length: int = 10
+    portion_stride: int = 21
+
+    # Cache sizing (paper defaults).
+    demand_buffers_per_node: int = 1
+    prefetch_buffers_per_node: int = 3
+    prefetch_unused_limit: Optional[int] = None
+    replacement: str = "ru-set"
+
+    # Synchronization parameters (paper defaults).
+    per_proc_k: int = 10
+    total_k: int = 200
+
+    # Reproducibility / diagnostics.
+    seed: int = 1
+    record_trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.pattern not in PATTERN_NAMES:
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+        if self.sync_style not in SYNC_STYLES:
+            raise ValueError(f"unknown sync style {self.sync_style!r}")
+        if self.policy not in _POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if self.compute_mean < 0:
+            raise ValueError("compute_mean must be non-negative")
+        if self.lead < 0:
+            raise ValueError("lead must be non-negative")
+        if self.min_prefetch_time < 0:
+            raise ValueError("min_prefetch_time must be non-negative")
+        if self.pattern == "lw" and self.sync_style == "portion":
+            raise ValueError(
+                "lw is not combined with portion sync (paper footnote 3)"
+            )
+        if self.layout not in ("round-robin", "striped", "hashed"):
+            raise ValueError(f"unknown layout {self.layout!r}")
+        if self.stripe_width <= 0:
+            raise ValueError("stripe_width must be positive")
+        if self.portion_length <= 0:
+            raise ValueError("portion_length must be positive")
+        if self.portion_stride <= 0:
+            raise ValueError("portion_stride must be positive")
+
+    @property
+    def effective_total_reads(self) -> int:
+        return self.total_reads if self.total_reads is not None else 2000
+
+    @property
+    def intensity(self) -> str:
+        return "io-bound" if self.compute_mean == 0.0 else "balanced"
+
+    @property
+    def label(self) -> str:
+        pf = (
+            f"prefetch({self.policy}"
+            + (f",lead={self.lead}" if self.lead else "")
+            + (
+                f",min_t={self.min_prefetch_time}"
+                if self.min_prefetch_time
+                else ""
+            )
+            + ")"
+            if self.prefetch
+            else "no-prefetch"
+        )
+        return (
+            f"{self.pattern}/{self.sync_style}/{self.intensity}/{pf}"
+            f"/seed{self.seed}"
+        )
+
+    def with_overrides(self, **kwargs: Any) -> "ExperimentConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def paired_baseline(self) -> "ExperimentConfig":
+        """The matching no-prefetch run (same seed: paired comparison)."""
+        return self.with_overrides(prefetch=False)

@@ -1,0 +1,146 @@
+"""One-command full reproduction: every figure into a markdown report.
+
+``rapid-transit report -o REPORT.md`` (or :func:`generate_report`) runs
+the paired suite, the lead sweep, and every standalone sweep, then writes
+a single markdown document with each reproduced figure's table and check
+results — the artifact a reviewer would want next to the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+from .ablations import (
+    ablation_file_layout,
+    ablation_numa_layout,
+    ablation_replacement,
+)
+from .figures import (
+    FigureData,
+    fig3_read_time,
+    fig4_hit_ratio,
+    fig5_ready_unready,
+    fig6_hitwait_vs_readtime,
+    fig7_disk_response,
+    fig8_total_time,
+    fig9_sync_time,
+    fig10_reductions,
+    fig11_hitratio_vs_reduction,
+    fig12_compute_sweep,
+    fig13_lead_hitwait,
+    fig14_lead_missratio,
+    fig15_lead_readtime,
+    fig16_lead_totaltime,
+    run_lead_sweep,
+)
+from .findings import (
+    ext_disk_sensitivity,
+    ext_hybrid_patterns,
+    ext_predictor_comparison,
+    ext_scalability,
+    fig1_uneven_benefit,
+    vd_min_prefetch_time,
+    vf_buffer_count,
+    vf_pattern_breakdown,
+)
+from .suite import run_suite
+
+__all__ = ["generate_report", "collect_all_figures"]
+
+
+def collect_all_figures(
+    seed: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[FigureData]:
+    """Regenerate every figure and finding (tens of minutes of simulated
+    time, a few wall-clock minutes)."""
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    note("running the paired 46-cell suite (92 simulations)...")
+    suite = run_suite(seed=seed)
+    figures: List[FigureData] = [
+        fig3_read_time(suite),
+        fig4_hit_ratio(suite),
+        fig5_ready_unready(suite),
+        fig6_hitwait_vs_readtime(suite),
+        fig7_disk_response(suite),
+        fig8_total_time(suite),
+        fig9_sync_time(suite),
+        fig10_reductions(suite),
+        fig11_hitratio_vs_reduction(suite),
+        vf_pattern_breakdown(suite),
+    ]
+
+    note("running the minimum-prefetch-lead sweep (Figs. 13-16)...")
+    sweep = run_lead_sweep(seed=seed)
+    figures += [
+        fig13_lead_hitwait(sweep),
+        fig14_lead_missratio(sweep),
+        fig15_lead_readtime(sweep),
+        fig16_lead_totaltime(sweep),
+    ]
+
+    standalone = [
+        ("Fig. 1 pathology", fig1_uneven_benefit),
+        ("Fig. 12 compute sweep", fig12_compute_sweep),
+        ("Section V-D throttle", vd_min_prefetch_time),
+        ("Section V-F buffers", vf_buffer_count),
+        ("predictors extension", ext_predictor_comparison),
+        ("scalability extension", ext_scalability),
+        ("hybrid-pattern extension", ext_hybrid_patterns),
+        ("disk-sensitivity extension", ext_disk_sensitivity),
+        ("NUMA-layout ablation", ablation_numa_layout),
+        ("replacement ablation", ablation_replacement),
+        ("file-layout ablation", ablation_file_layout),
+    ]
+    for label, fn in standalone:
+        note(f"running {label}...")
+        figures.append(fn(seed=seed))
+    return figures
+
+
+def generate_report(
+    path: Union[str, Path],
+    seed: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[FigureData]:
+    """Write the full reproduction report to ``path``; returns the
+    figures (so callers can assert on the checks)."""
+    figures = collect_all_figures(seed=seed, progress=progress)
+    n_checks = sum(len(f.checks) for f in figures)
+    n_pass = sum(sum(f.checks.values()) for f in figures)
+
+    lines = [
+        "# RAPID Transit reproduction report",
+        "",
+        "Kotz & Ellis, *Prefetching in File Systems for MIMD "
+        "Multiprocessors* (ICPP 1989).",
+        "",
+        f"Seed {seed}; generated {time.strftime('%Y-%m-%d %H:%M:%S')}.",
+        f"**{n_pass}/{n_checks} paper-shape checks pass.**",
+        "",
+        "Absolute times come from a calibrated simulator (see DESIGN.md); "
+        "the checks encode the paper's qualitative claims.",
+        "",
+    ]
+    failed = [
+        (f.figure_id, name)
+        for f in figures
+        for name, ok in f.checks.items()
+        if not ok
+    ]
+    if failed:
+        lines.append("## FAILED checks")
+        lines.extend(f"- {fid}: `{name}`" for fid, name in failed)
+        lines.append("")
+    for figure in figures:
+        lines.append(figure.to_markdown())
+        lines.append("")
+
+    Path(path).write_text("\n".join(lines), encoding="utf-8")
+    return figures

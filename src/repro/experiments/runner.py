@@ -1,0 +1,291 @@
+"""Run one experiment end to end.
+
+``run_experiment`` wires the whole stack together — machine, file, cache,
+policies, daemons, applications — runs the simulation to completion, and
+distils a :class:`RunResult` holding every measure the paper reports.
+
+``run_pair`` runs the prefetch-on configuration and its paired no-prefetch
+baseline with the same seed (the paper evaluates prefetching by such
+pairs), returning both results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..fs.cache import BlockCache, CacheConfig
+from ..fs.file import File
+from ..fs.fileserver import FileServer
+from ..fs.layout import HashedLayout, RoundRobinLayout, StripedLayout
+from ..fs.trace import Trace
+from ..machine.machine import Machine, MachineConfig
+from ..machine.node import IdleKind
+from ..metrics.collector import RunMetrics
+from ..prefetch.daemon import DaemonConfig, PrefetchDaemon
+from ..prefetch.oracle import OraclePolicy
+from ..prefetch.policy import PrefetchPolicy
+from ..prefetch.predictors import (
+    GlobalPortionPolicy,
+    GlobalSequentialPolicy,
+    OBLPolicy,
+    PortionPolicy,
+)
+from ..sim.core import Environment
+from ..sim.rng import RandomStreams
+from ..workload.application import application
+from ..workload.patterns import make_pattern
+from ..workload.progress import ProgressTracker
+from ..workload.synchronization import make_sync
+from .config import ExperimentConfig
+
+__all__ = ["RunResult", "run_experiment", "run_materialized", "run_pair"]
+
+
+@dataclass
+class RunResult:
+    """Scalar summary of one run (plus the raw metrics for deep dives)."""
+
+    config: ExperimentConfig
+
+    # The paper's primary and secondary measures.
+    total_time: float
+    avg_read_time: float
+    median_read_time: float
+    hit_ratio: float
+    miss_ratio: float
+    ready_hit_fraction: float
+    unready_hit_fraction: float
+    #: Mean wait over unready hits only (our diagnostic measure).
+    avg_hit_wait: float
+    #: Mean hit-wait over all hits, ready hits counting as zero (the
+    #: paper's Section V-A definition, used by Figs. 6 and 13).
+    avg_hit_wait_all: float
+    disk_response_mean: float
+    disk_utilization: float
+    sync_wait_mean: float
+    sync_wait_count: int
+    overrun_mean: float
+    overrun_total: float
+
+    # Fetch accounting.
+    blocks_demand_fetched: int
+    blocks_prefetched: int
+    total_accesses: int
+
+    # Prefetch action accounting.
+    prefetch_action_mean: float
+    failed_action_count: int
+    prefetch_outcomes: Dict[str, int]
+
+    # Benefit distribution (Fig. 1 pathology).
+    per_node_read_means: List[float]
+    benefit_imbalance: float
+
+    # Idle accounting per kind: (necessary mean, actual mean, count).
+    idle_by_kind: Dict[str, Tuple[float, float, int]]
+
+    # Raw handles (not serialized in reports).
+    metrics: RunMetrics = field(repr=False)
+    trace: Optional[Trace] = field(repr=False, default=None)
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+
+def _build_policy(
+    config: ExperimentConfig, pattern, tracker
+) -> PrefetchPolicy:
+    if config.policy == "oracle":
+        return OraclePolicy(pattern, tracker, lead=config.lead)
+    if config.policy == "obl":
+        return OBLPolicy(config.file_blocks)
+    if config.policy == "portion":
+        return PortionPolicy(config.file_blocks)
+    if config.policy == "global-seq":
+        return GlobalSequentialPolicy(config.file_blocks)
+    if config.policy == "global-portion":
+        return GlobalPortionPolicy(config.file_blocks)
+    raise ValueError(f"unknown policy {config.policy!r}")
+
+
+def run_experiment(config: ExperimentConfig) -> RunResult:
+    """Simulate one configuration to completion and summarize it."""
+    rng = RandomStreams(config.seed)
+    pattern = make_pattern(
+        config.pattern,
+        n_nodes=config.n_nodes,
+        file_blocks=config.file_blocks,
+        total_reads=config.total_reads,
+        rng=rng,
+        portion_length=config.portion_length,
+        portion_stride=config.portion_stride,
+    )
+    return run_materialized(pattern, config, rng)
+
+
+def run_materialized(
+    pattern, config: ExperimentConfig, rng: Optional[RandomStreams] = None
+) -> RunResult:
+    """Run a pre-built :class:`~repro.workload.patterns.AccessPattern`
+    under ``config``'s machine/cache/prefetch setup.
+
+    This is the extension point for workloads outside the paper's six
+    (hybrid patterns, custom strings); ``config.pattern`` is ignored.
+    """
+    env = Environment()
+    rng = rng if rng is not None else RandomStreams(config.seed)
+
+    machine = Machine(
+        env,
+        MachineConfig(
+            n_nodes=config.n_nodes,
+            n_disks=config.n_disks,
+            costs=config.costs,
+            replicated_structures=config.replicated_structures,
+            disk_model=config.disk_model,
+        ),
+    )
+    if config.layout == "round-robin":
+        layout = RoundRobinLayout(config.n_disks)
+    elif config.layout == "striped":
+        layout = StripedLayout(config.n_disks, config.stripe_width)
+    else:
+        layout = HashedLayout(config.n_disks)
+    file = File("data", config.file_blocks, layout)
+    tracker = ProgressTracker(pattern, config.n_nodes)
+    metrics = RunMetrics(env, config.n_nodes)
+    cache = BlockCache(
+        env,
+        machine,
+        file,
+        CacheConfig(
+            demand_buffers_per_node=config.demand_buffers_per_node,
+            prefetch_buffers_per_node=config.prefetch_buffers_per_node,
+            prefetch_unused_limit=config.prefetch_unused_limit,
+            replacement=config.replacement,
+            record_trace=config.record_trace,
+        ),
+        metrics,
+    )
+    server = FileServer(cache)
+    sync = make_sync(
+        config.sync_style,
+        env,
+        config.n_nodes,
+        pattern,
+        per_proc_k=config.per_proc_k,
+        total_k=config.total_k,
+    )
+
+    if config.prefetch:
+        policy = _build_policy(config, pattern, tracker)
+        policy.bind(cache)
+        cache.access_observer = policy.observe
+        daemon_config = DaemonConfig(
+            min_prefetch_time=config.min_prefetch_time
+        )
+        for node in machine.nodes:
+            PrefetchDaemon(node, cache, policy, metrics, daemon_config)
+
+    apps = [
+        env.process(
+            application(
+                node,
+                server,
+                tracker,
+                sync,
+                pattern,
+                rng,
+                config.compute_mean,
+            ),
+            name=f"app-{node.node_id}",
+        )
+        for node in machine.nodes
+    ]
+
+    metrics.begin_run()
+    env.run(until=env.all_of(apps))
+    metrics.end_run()
+
+    # Post-run consistency.
+    if not tracker.all_done():
+        raise RuntimeError(
+            f"run ended with {tracker.total_consumed}/{tracker.total_refs} "
+            "references consumed"
+        )
+    cache.check_invariants()
+    metrics.sync_waits.extend(sync.wait_times)
+
+    # Idle accounting across nodes.
+    idle_by_kind: Dict[str, Tuple[float, float, int]] = {}
+    for kind in IdleKind:
+        necessary = []
+        actual = []
+        for node in machine.nodes:
+            for period in node.idle_periods:
+                if period.kind is kind:
+                    necessary.append(period.necessary)
+                    actual.append(period.actual)
+        count = len(necessary)
+        idle_by_kind[kind.value] = (
+            sum(necessary) / count if count else 0.0,
+            sum(actual) / count if count else 0.0,
+            count,
+        )
+
+    overruns = [
+        period.overrun
+        for node in machine.nodes
+        for period in node.idle_periods
+    ]
+    overrun_total = sum(overruns)
+    overrun_mean = overrun_total / len(overruns) if overruns else 0.0
+
+    return RunResult(
+        config=config,
+        total_time=metrics.total_time,
+        avg_read_time=metrics.avg_read_time,
+        median_read_time=metrics.read_times.median
+        if metrics.read_times.count
+        else 0.0,
+        hit_ratio=metrics.hit_ratio,
+        miss_ratio=metrics.miss_ratio,
+        ready_hit_fraction=metrics.ready_hit_fraction,
+        unready_hit_fraction=metrics.unready_hit_fraction,
+        avg_hit_wait=metrics.avg_hit_wait,
+        avg_hit_wait_all=metrics.avg_hit_wait_all_hits,
+        disk_response_mean=machine.aggregate_disk_response(),
+        disk_utilization=machine.aggregate_disk_utilization(),
+        sync_wait_mean=metrics.sync_waits.mean,
+        sync_wait_count=metrics.sync_waits.count,
+        overrun_mean=overrun_mean,
+        overrun_total=overrun_total,
+        blocks_demand_fetched=metrics.blocks_demand_fetched,
+        blocks_prefetched=metrics.blocks_prefetched,
+        total_accesses=metrics.total_accesses,
+        prefetch_action_mean=metrics.prefetch_action_times.mean,
+        failed_action_count=metrics.failed_action_times.count,
+        prefetch_outcomes=dict(metrics.prefetch_outcomes),
+        per_node_read_means=metrics.per_node_mean_read_times(),
+        benefit_imbalance=metrics.benefit_imbalance(),
+        idle_by_kind=idle_by_kind,
+        metrics=metrics,
+        trace=cache.trace,
+    )
+
+
+def run_pair(
+    config: ExperimentConfig,
+) -> Tuple[RunResult, RunResult]:
+    """Run ``config`` with prefetching and its paired baseline without.
+
+    Returns ``(prefetch_result, baseline_result)``.  Both runs share the
+    seed, so workload geometry and compute delays are identical.
+    """
+    with_prefetch = (
+        config if config.prefetch else config.with_overrides(prefetch=True)
+    )
+    baseline = with_prefetch.paired_baseline()
+    return run_experiment(with_prefetch), run_experiment(baseline)

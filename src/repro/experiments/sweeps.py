@@ -1,0 +1,136 @@
+"""Generic parameter sweeps over :class:`ExperimentConfig`.
+
+The figure generators hard-code the paper's sweeps; this module gives
+downstream users the same machinery for *their* questions:
+
+    >>> sweep = run_sweep("lead", [0, 10, 20], base=ExperimentConfig())
+    >>> for point in sweep.points:
+    ...     print(point.value, point.prefetch.total_time)
+
+Every point is a paired (prefetch, baseline) measurement with the same
+seed, so reductions are directly comparable across the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, List, Optional, Sequence
+
+from ..metrics.stats import percent_reduction
+from .config import ExperimentConfig
+from .runner import RunResult, run_experiment
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep", "sweepable_fields"]
+
+
+def sweepable_fields() -> List[str]:
+    """Names of ExperimentConfig fields that can be swept."""
+    skip = {"costs"}  # structured; sweep its members via with_overrides
+    return sorted(f.name for f in fields(ExperimentConfig) if f.name not in skip)
+
+
+@dataclass
+class SweepPoint:
+    """One parameter value, measured paired."""
+
+    param: str
+    value: Any
+    prefetch: RunResult
+    baseline: RunResult
+
+    @property
+    def total_time_reduction(self) -> float:
+        """Percent total-time reduction of prefetch vs baseline."""
+        return percent_reduction(
+            self.baseline.total_time, self.prefetch.total_time
+        )
+
+    @property
+    def read_time_reduction(self) -> float:
+        """Percent read-time reduction of prefetch vs baseline."""
+        return percent_reduction(
+            self.baseline.avg_read_time, self.prefetch.avg_read_time
+        )
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep."""
+
+    param: str
+    points: List[SweepPoint]
+
+    def series(self, getter) -> List[Any]:
+        """Extract ``getter(point)`` per point, in sweep order."""
+        return [getter(p) for p in self.points]
+
+    def rows(self) -> List[tuple]:
+        """Default report rows: the measures most sweeps care about."""
+        return [
+            (
+                p.value,
+                p.baseline.total_time,
+                p.prefetch.total_time,
+                p.total_time_reduction,
+                p.read_time_reduction,
+                p.prefetch.hit_ratio,
+                p.prefetch.avg_hit_wait,
+            )
+            for p in self.points
+        ]
+
+    COLUMNS = [
+        "value",
+        "base total (ms)",
+        "prefetch total (ms)",
+        "total red %",
+        "read red %",
+        "hit ratio",
+        "hit-wait (ms)",
+    ]
+
+
+def run_sweep(
+    param: str,
+    values: Sequence[Any],
+    base: Optional[ExperimentConfig] = None,
+    share_baseline: bool = True,
+) -> SweepResult:
+    """Sweep ``param`` over ``values`` against ``base`` (paired runs).
+
+    ``share_baseline``: when the swept parameter only affects prefetching
+    (lead, policy, min_prefetch_time, prefetch_buffers_per_node,
+    prefetch_unused_limit), the no-prefetch baseline is identical across
+    values and is run once.
+    """
+    if param not in sweepable_fields():
+        raise ValueError(
+            f"cannot sweep {param!r}; choose from {sweepable_fields()}"
+        )
+    if not values:
+        raise ValueError("values must be non-empty")
+    base = base if base is not None else ExperimentConfig()
+
+    prefetch_only = param in (
+        "lead",
+        "policy",
+        "min_prefetch_time",
+        "prefetch_buffers_per_node",
+        "prefetch_unused_limit",
+    )
+    shared_baseline: Optional[RunResult] = None
+    if share_baseline and prefetch_only:
+        shared_baseline = run_experiment(base.paired_baseline())
+
+    points: List[SweepPoint] = []
+    for value in values:
+        config = base.with_overrides(**{param: value, "prefetch": True})
+        pf = run_experiment(config)
+        if shared_baseline is not None:
+            bl = shared_baseline
+        else:
+            bl = run_experiment(config.paired_baseline())
+        points.append(
+            SweepPoint(param=param, value=value, prefetch=pf, baseline=bl)
+        )
+    return SweepResult(param=param, points=points)

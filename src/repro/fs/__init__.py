@@ -1,0 +1,39 @@
+"""The RAPID Transit interleaved file system.
+
+* :mod:`~repro.fs.layout` / :mod:`~repro.fs.file` — Bridge-style
+  interleaved files;
+* :mod:`~repro.fs.buffer` — buffer states (the unready-hit machinery);
+* :mod:`~repro.fs.replacement` — per-processor RU-set replacement;
+* :mod:`~repro.fs.cache` — the shared block cache with demand and prefetch
+  paths, metadata-lock contention, and the global prefetched-unused budget;
+* :mod:`~repro.fs.fileserver` — the application-facing read path;
+* :mod:`~repro.fs.trace` — access-trace recording for offline analysis.
+"""
+
+from .buffer import Buffer, BufferPool, BufferState
+from .cache import BlockCache, CacheConfig, LookupOutcome
+from .file import File
+from .fileserver import FileServer
+from .layout import FileLayout, HashedLayout, RoundRobinLayout, StripedLayout
+from .replacement import GlobalLRUPolicy, ReplacementPolicy, RUSetPolicy
+from .trace import Trace, TraceRecord
+
+__all__ = [
+    "File",
+    "FileLayout",
+    "RoundRobinLayout",
+    "StripedLayout",
+    "HashedLayout",
+    "Buffer",
+    "BufferPool",
+    "BufferState",
+    "ReplacementPolicy",
+    "RUSetPolicy",
+    "GlobalLRUPolicy",
+    "BlockCache",
+    "CacheConfig",
+    "LookupOutcome",
+    "FileServer",
+    "Trace",
+    "TraceRecord",
+]

@@ -1,0 +1,204 @@
+"""Cache buffers and their states.
+
+The RAPID Transit cache distinguishes buffers that merely *reserve* a block
+(I/O still outstanding) from buffers whose data have arrived.  A request
+that finds a reserved-but-unfilled buffer is an **unready hit**: it counts
+as a hit, but the requester must still wait out the remaining I/O — the
+*hit-wait time* that Section V-A shows to be a significant cost.
+
+Buffer pools
+------------
+``DEMAND`` buffers implement the per-processor RU-set (size one — the
+paper's "toss-immediately" variant): each node owns one, replaced on each
+of its demand fetches.  ``PREFETCH`` buffers (three per node) are homed on
+a node but globally allocatable; a prefetched buffer becomes *evictable*
+only after its block has been read at least once, which is what makes the
+global prefetched-but-unused budget meaningful.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from ..sim.events import Event
+from ..machine.disk import RequestKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.core import Environment
+
+__all__ = ["BufferState", "BufferPool", "Buffer"]
+
+
+class BufferState(enum.Enum):
+    """Lifecycle of a cache buffer."""
+
+    EMPTY = "empty"  # holds no block
+    FETCHING = "fetching"  # block assigned, I/O outstanding
+    READY = "ready"  # block data present
+
+
+class BufferPool(enum.Enum):
+    """Which allocation pool a buffer belongs to."""
+
+    DEMAND = "demand"
+    PREFETCH = "prefetch"
+
+
+class Buffer:
+    """One cache buffer.
+
+    Attributes
+    ----------
+    index:
+        Global buffer number (stable identity).
+    home_node:
+        Node whose memory physically holds the buffer (NUMA placement).
+    pool:
+        Allocation pool (demand RU-set vs prefetch).
+    block:
+        Block currently assigned, or ``None``.
+    state:
+        See :class:`BufferState`.
+    ready_event:
+        Fires when the outstanding fetch completes; recreated per fetch.
+    pins:
+        Number of processes relying on the buffer staying put (waiting on
+        its I/O or copying out of it).  Pinned buffers are not evictable.
+    read_count:
+        Reads served from the buffer since its current block was assigned.
+        Zero for a prefetched buffer means "prefetched but not yet used".
+    last_use:
+        Simulation time of the most recent access (for LRU).
+    fetch_kind / fetched_by:
+        Provenance of the current block's fetch (demand vs prefetch, and
+        the node that initiated it) — used by the benefit-distribution
+        analysis.
+    """
+
+    __slots__ = (
+        "env",
+        "index",
+        "home_node",
+        "pool",
+        "block",
+        "state",
+        "ready_event",
+        "pins",
+        "read_count",
+        "last_use",
+        "fetch_kind",
+        "fetched_by",
+        "fetch_start",
+    )
+
+    def __init__(
+        self,
+        env: "Environment",
+        index: int,
+        home_node: int,
+        pool: BufferPool,
+    ) -> None:
+        self.env = env
+        self.index = index
+        self.home_node = home_node
+        self.pool = pool
+        self.block: Optional[int] = None
+        self.state = BufferState.EMPTY
+        self.ready_event: Optional[Event] = None
+        self.pins = 0
+        self.read_count = 0
+        self.last_use = env.now
+        self.fetch_kind: Optional[RequestKind] = None
+        self.fetched_by: Optional[int] = None
+        self.fetch_start: Optional[float] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Buffer {self.index} {self.pool.value} node{self.home_node} "
+            f"block={self.block} {self.state.value} pins={self.pins}>"
+        )
+
+    # -- state transitions ----------------------------------------------------
+
+    def start_fetch(
+        self, block: int, kind: RequestKind, by_node: int
+    ) -> Event:
+        """Assign ``block`` and mark I/O outstanding; returns the ready event.
+
+        The buffer must not be pinned and must not have I/O outstanding.
+        """
+        if self.state is BufferState.FETCHING:
+            raise RuntimeError(f"{self!r} already fetching")
+        if self.pins:
+            raise RuntimeError(f"{self!r} is pinned; cannot reassign")
+        self.block = block
+        self.state = BufferState.FETCHING
+        self.ready_event = Event(self.env)
+        self.read_count = 0
+        self.last_use = self.env.now
+        self.fetch_kind = kind
+        self.fetched_by = by_node
+        self.fetch_start = self.env.now
+        return self.ready_event
+
+    def mark_ready(self) -> None:
+        """Data arrived: transition FETCHING -> READY, wake waiters."""
+        if self.state is not BufferState.FETCHING:
+            raise RuntimeError(f"{self!r} not fetching")
+        self.state = BufferState.READY
+        assert self.ready_event is not None
+        self.ready_event.succeed(self)
+
+    def record_use(self) -> None:
+        """Account one read served from this buffer."""
+        if self.state is not BufferState.READY:
+            raise RuntimeError(f"{self!r} not ready; cannot read")
+        self.read_count += 1
+        self.last_use = self.env.now
+
+    def invalidate(self) -> None:
+        """Drop the current block (eviction)."""
+        if self.state is BufferState.FETCHING:
+            raise RuntimeError(f"{self!r} fetching; cannot invalidate")
+        if self.pins:
+            raise RuntimeError(f"{self!r} pinned; cannot invalidate")
+        self.block = None
+        self.state = BufferState.EMPTY
+        self.ready_event = None
+        self.read_count = 0
+        self.fetch_kind = None
+        self.fetched_by = None
+        self.fetch_start = None
+
+    # -- pinning ---------------------------------------------------------------
+
+    def pin(self) -> None:
+        self.pins += 1
+
+    def unpin(self) -> None:
+        if self.pins <= 0:
+            raise RuntimeError(f"{self!r} not pinned")
+        self.pins -= 1
+
+    # -- predicates -------------------------------------------------------------
+
+    @property
+    def is_evictable(self) -> bool:
+        """May this buffer be reassigned to a new block right now?
+
+        Never while pinned or fetching.  Prefetched-but-unused blocks
+        (READY, ``read_count == 0``, prefetch-fetched) are protected: they
+        are exactly the blocks counted against the global prefetch budget,
+        and evicting them would waste a completed prefetch.
+        """
+        if self.pins or self.state is BufferState.FETCHING:
+            return False
+        if self.state is BufferState.EMPTY:
+            return True
+        if (
+            self.fetch_kind is RequestKind.PREFETCH
+            and self.read_count == 0
+        ):
+            return False
+        return True

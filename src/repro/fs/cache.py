@@ -1,0 +1,427 @@
+"""The RAPID Transit block cache.
+
+Structure (Section IV-A/IV-D of the paper):
+
+* **Demand buffers** — one per processor (an RU set of size one), managed
+  by :class:`~repro.fs.replacement.RUSetPolicy` ("toss-immediately"): a
+  processor's demand fetch reuses its own buffer.  Paper total: 20.
+* **Prefetch buffers** — three per node, usable only for prefetching.
+  They are homed on a node (NUMA) but globally allocatable.  Paper total:
+  60, bringing the cache to 80 blocks.
+* **Global prefetched-unused budget** — at most ``prefetch_unused_limit``
+  blocks may be prefetched-but-not-yet-read at once (paper: 3/processor =
+  60).  A prefetch that would exceed it fails.  This budget is the shared
+  resource whose uneven consumption produces the lfp slowdown pathology
+  (Section V-B).
+
+All metadata operations (hash lookup, buffer allocation, table update)
+happen under a single **metadata lock** held for a costed interval; genuine
+queueing on this lock reproduces the shared-data-structure contention the
+paper observed (prefetch actions slowing from ~5 ms to ~22 ms under
+I/O-bound load, Section V-C).
+
+Buffer-state semantics give the paper's *generous* hit definition: finding
+a buffer **reserved** for the desired block counts as a hit even when the
+I/O is still outstanding (an *unready hit*); the requester then waits out
+the remaining I/O — the hit-wait time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+
+from ..machine.disk import RequestKind
+from ..sim.events import Event
+from ..sim.monitor import Tally
+from ..sim.resources import Resource
+from .buffer import Buffer, BufferPool, BufferState
+from .file import File
+from .replacement import GlobalLRUPolicy, ReplacementPolicy, RUSetPolicy
+from .trace import Trace, TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.machine import Machine
+    from ..metrics.collector import RunMetrics
+    from ..prefetch.policy import PrefetchPolicy
+
+__all__ = ["CacheConfig", "LookupOutcome", "BlockCache"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Cache sizing and policy parameters."""
+
+    #: Demand buffers per node (paper: 1 — the toss-immediately RU set).
+    demand_buffers_per_node: int = 1
+
+    #: Prefetch-only buffers per node (paper: 3).
+    prefetch_buffers_per_node: int = 3
+
+    #: Global cap on prefetched-but-unused blocks.  ``None`` means
+    #: 3 per node, the paper's setting.
+    prefetch_unused_limit: Optional[int] = None
+
+    #: Replacement policy: "ru-set" (paper) or "global-lru" (ablation).
+    replacement: str = "ru-set"
+
+    #: Record a full access trace for offline analysis.
+    record_trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.demand_buffers_per_node <= 0:
+            raise ValueError("demand_buffers_per_node must be positive")
+        if self.prefetch_buffers_per_node < 0:
+            raise ValueError("prefetch_buffers_per_node must be >= 0")
+        if (
+            self.prefetch_unused_limit is not None
+            and self.prefetch_unused_limit < 0
+        ):
+            raise ValueError("prefetch_unused_limit must be >= 0")
+        if self.replacement not in ("ru-set", "global-lru"):
+            raise ValueError(f"unknown replacement {self.replacement!r}")
+
+    def make_replacement(self) -> ReplacementPolicy:
+        if self.replacement == "ru-set":
+            return RUSetPolicy()
+        return GlobalLRUPolicy()
+
+    def unused_limit_for(self, n_nodes: int) -> int:
+        if self.prefetch_unused_limit is not None:
+            return self.prefetch_unused_limit
+        return self.prefetch_buffers_per_node * n_nodes
+
+
+@dataclass
+class LookupOutcome:
+    """Result of the demand-side lookup for one block access."""
+
+    #: "ready" | "unready" | "miss"
+    kind: str
+    buffer: Buffer
+    #: For "unready" and "miss": event firing when the data are in.
+    ready_event: Optional[Event] = None
+
+
+class BlockCache:
+    """Shared block cache with demand and prefetch paths.
+
+    The costed entry points are generators meant to be driven with
+    ``yield from`` by a process that currently *holds its node's CPU*:
+
+    * :meth:`lookup_and_begin` — demand-side lookup / fetch initiation;
+    * :meth:`finish_read` — post-wait accounting for unready hits/misses;
+    * :meth:`copy_out` — buffer-to-user copy;
+    * :meth:`prefetch_action` — one complete prefetch attempt.
+    """
+
+    def __init__(
+        self,
+        env,
+        machine: "Machine",
+        file: File,
+        config: CacheConfig,
+        metrics: "RunMetrics",
+    ) -> None:
+        self.env = env
+        self.machine = machine
+        self.file = file
+        self.config = config
+        self.metrics = metrics
+        self.costs = machine.costs
+        self.memory = machine.memory
+
+        n_nodes = machine.n_nodes
+        self.replacement = config.make_replacement()
+        self.unused_limit = config.unused_limit_for(n_nodes)
+
+        self.metadata_lock = Resource(env, capacity=1)
+        self.table: Dict[int, Buffer] = {}
+        self.unused_prefetched = 0
+        #: Buffers currently holding the prefetch budget (invariant check).
+        self._budget_holders: set[int] = set()
+
+        self.demand_rusets: List[List[Buffer]] = []
+        self.prefetch_sets: List[List[Buffer]] = []
+        index = 0
+        for node in range(n_nodes):
+            ruset = []
+            for _ in range(config.demand_buffers_per_node):
+                ruset.append(Buffer(env, index, node, BufferPool.DEMAND))
+                index += 1
+            self.demand_rusets.append(ruset)
+        for node in range(n_nodes):
+            pset = []
+            for _ in range(config.prefetch_buffers_per_node):
+                pset.append(Buffer(env, index, node, BufferPool.PREFETCH))
+                index += 1
+            self.prefetch_sets.append(pset)
+        self.n_buffers = index
+
+        self._freed = Event(env)
+        self.trace: Optional[Trace] = Trace() if config.record_trace else None
+        #: Time demand requests spent waiting for an evictable buffer.
+        self.alloc_waits = Tally("alloc_wait")
+        #: Optional callback ``(node_id, block)`` invoked on every demand
+        #: access — feeds on-the-fly predictor policies.
+        self.access_observer = None
+
+    # ------------------------------------------------------------------ util
+
+    def _signal_freed(self) -> None:
+        """Wake processes waiting for any buffer to become evictable."""
+        event, self._freed = self._freed, Event(self.env)
+        event.succeed()
+
+    def _op_time(self, local_refs: int, remote_refs: int) -> float:
+        """Cost of one locked metadata operation.
+
+        The fixed structure-walk component runs at local speed only in
+        the optimized (replicated) layout; the naive layout pays the
+        remote penalty on it too.
+        """
+        return (
+            self.costs.cache_metadata_op * self.memory.structure_multiplier()
+            + self.memory.reference_time(local_refs, remote_refs)
+        )
+
+    def contains(self, block: int) -> bool:
+        """Uncosted membership check (policy-side peeking)."""
+        return block in self.table
+
+    def buffer_for(self, block: int) -> Optional[Buffer]:
+        """The buffer currently holding ``block`` (None if absent)."""
+        return self.table.get(block)
+
+    def _release_budget(self, buffer: Buffer) -> None:
+        """Return a prefetched-unused block's budget on its first use."""
+        if buffer.index in self._budget_holders:
+            self._budget_holders.discard(buffer.index)
+            self.unused_prefetched -= 1
+            assert self.unused_prefetched >= 0
+
+    def _evict(self, victim: Buffer) -> None:
+        """Detach the victim's current block (caller holds the lock)."""
+        if victim.block is not None:
+            current = self.table.get(victim.block)
+            if current is victim:
+                del self.table[victim.block]
+        if victim.state is not BufferState.EMPTY:
+            self._release_budget(victim)  # defensive; unused are protected
+            victim.invalidate()
+
+    # --------------------------------------------------------- demand path
+
+    def lookup_and_begin(
+        self, node_id: int, block: int
+    ) -> Generator[Event, None, LookupOutcome]:
+        """Demand-side lookup; caller holds its CPU and is inside the
+        memory system (``memory.enter()`` done by the file server).
+
+        Returns a :class:`LookupOutcome`.  For a miss the disk request has
+        been enqueued; the caller waits on ``ready_event`` either way.
+
+        Concurrency contract: at most one demand read may be in flight
+        per node (the paper's one-user-process-per-node model).  The
+        allocation wait below holds the node's CPU; a second reader on
+        the same node could otherwise block its sibling's completion
+        (which needs that CPU to unpin its buffer).
+        """
+        if self.access_observer is not None:
+            self.access_observer(node_id, block)
+        wait_start = self.env.now
+        lock_req = self.metadata_lock.request()
+        yield lock_req
+        # Hash probe: mostly local with one remote reference.
+        yield self.env.timeout(self._op_time(local_refs=1, remote_refs=1))
+
+        while True:
+            buffer = self.table.get(block)
+            if buffer is not None and buffer.state is BufferState.READY:
+                self._release_budget(buffer)
+                buffer.record_use()
+                buffer.pin()  # held across the copy
+                self.metrics.record_ready_hit(node_id)
+                self.metadata_lock.release(lock_req)
+                return LookupOutcome(kind="ready", buffer=buffer)
+
+            if buffer is not None:  # FETCHING: unready hit
+                self._release_budget(buffer)
+                buffer.pin()  # protect while we wait
+                self.metrics.record_unready_hit(node_id)
+                event = buffer.ready_event
+                self.metadata_lock.release(lock_req)
+                return LookupOutcome(
+                    kind="unready", buffer=buffer, ready_event=event
+                )
+
+            # Miss so far: find a demand buffer.  If everything is pinned,
+            # wait for a release and *re-check the table* — the block may
+            # have been fetched by another node in the meantime.
+            victim = self.replacement.demand_victim(self, node_id)
+            if victim is not None:
+                break
+            self.metadata_lock.release(lock_req)
+            yield self._freed
+            lock_req = self.metadata_lock.request()
+            yield lock_req
+
+        self.metrics.record_miss(node_id)
+        self.alloc_waits.record(self.env.now - wait_start)
+
+        # Allocation + table update: another costed metadata operation.
+        yield self.env.timeout(self._op_time(local_refs=1, remote_refs=2))
+        self._evict(victim)
+        ready_event = victim.start_fetch(block, RequestKind.DEMAND, node_id)
+        self.table[block] = victim
+        victim.pin()  # requester's claim until its read completes
+        self.metadata_lock.release(lock_req)
+
+        # Enqueue the disk request (outside the lock).
+        yield self.env.timeout(self.costs.disk_enqueue_time)
+        disk = self.machine.disk_for_block(self.file.disk_for(block))
+        request = disk.submit(block, RequestKind.DEMAND, node_id)
+        request.done.callbacks.append(
+            lambda ev, buf=victim: self._fetch_complete(buf)
+        )
+        return LookupOutcome(
+            kind="miss", buffer=victim, ready_event=ready_event
+        )
+
+    def _fetch_complete(self, buffer: Buffer) -> None:
+        """Disk completion: data present, wake waiters (interrupt context —
+        uncosted, modelling DMA + completion interrupt)."""
+        buffer.mark_ready()
+        self._signal_freed()
+
+    def complete_read(self, node_id: int, buffer: Buffer) -> None:
+        """Post-wait accounting for unready hits and misses: the data are
+        now present; count the use.  The requester's pin is released by
+        :meth:`copy_out`.  (Counters are node-local: uncosted.)"""
+        buffer.record_use()
+
+    def copy_out(self, buffer: Buffer) -> Generator[Event, None, None]:
+        """Copy the block from the (typically remote) buffer to user
+        memory, then drop the requester's pin."""
+        yield self.env.timeout(
+            self.costs.block_copy_time * self.memory.contention_multiplier()
+        )
+        buffer.unpin()
+        self._signal_freed()
+
+    def record_access(
+        self,
+        node_id: int,
+        block: int,
+        outcome: str,
+        latency: float,
+        ref_index: int = -1,
+    ) -> None:
+        """Append to the offline-analysis trace."""
+        if self.trace is not None:
+            self.trace.append(
+                TraceRecord(
+                    time=self.env.now,
+                    node=node_id,
+                    block=block,
+                    outcome=outcome,
+                    latency=latency,
+                    ref_index=ref_index,
+                )
+            )
+
+    # -------------------------------------------------------- prefetch path
+
+    def prefetch_action(
+        self, node_id: int, policy: "PrefetchPolicy"
+    ) -> Generator[Event, None, str]:
+        """One complete prefetch attempt by ``node_id``'s daemon.
+
+        The caller holds the node's CPU for the whole action (the paper's
+        "releasing control only at the completion of an action").  Returns
+        the outcome: "success", "no_candidate", "already_cached",
+        "budget_full", or "no_buffer".
+        """
+        self.memory.enter()
+        try:
+            # Candidate selection against (possibly slightly stale) shared
+            # state: reference-string consultation + progress check.
+            yield self.env.timeout(
+                self.memory.reference_time(local_refs=2, remote_refs=1)
+            )
+            candidate = policy.peek(node_id)
+            if candidate is None:
+                yield self.env.timeout(self.costs.prefetch_failed_action)
+                return "no_candidate"
+            ref_index, block = candidate
+
+            # Request preparation (buffer search bookkeeping — local in the
+            # optimized layout, remote pointer-chasing in the naive one).
+            yield self.env.timeout(
+                self.costs.prefetch_action_base
+                * self.memory.structure_multiplier()
+            )
+
+            lock_req = self.metadata_lock.request()
+            yield lock_req
+            yield self.env.timeout(self._op_time(local_refs=1, remote_refs=2))
+
+            if block in self.table:
+                # Raced with a demand fetch or another daemon.
+                policy.mark_covered(node_id, ref_index, block)
+                self.metadata_lock.release(lock_req)
+                return "already_cached"
+
+            if self.unused_prefetched >= self.unused_limit:
+                policy.abort(node_id, ref_index, block)
+                self.metadata_lock.release(lock_req)
+                yield self.env.timeout(self.costs.prefetch_failed_action)
+                return "budget_full"
+
+            victim = self.replacement.prefetch_victim(self, node_id)
+            if victim is None:
+                policy.abort(node_id, ref_index, block)
+                self.metadata_lock.release(lock_req)
+                yield self.env.timeout(self.costs.prefetch_failed_action)
+                return "no_buffer"
+
+            self._evict(victim)
+            victim.start_fetch(block, RequestKind.PREFETCH, node_id)
+            self.table[block] = victim
+            self.unused_prefetched += 1
+            self._budget_holders.add(victim.index)
+            policy.commit(node_id, ref_index, block)
+            self.metrics.record_prefetch_issued()
+            self.metadata_lock.release(lock_req)
+
+            yield self.env.timeout(self.costs.disk_enqueue_time)
+            disk = self.machine.disk_for_block(self.file.disk_for(block))
+            request = disk.submit(block, RequestKind.PREFETCH, node_id)
+            request.done.callbacks.append(
+                lambda ev, buf=victim: self._fetch_complete(buf)
+            )
+            return "success"
+        finally:
+            self.memory.exit()
+
+    # ------------------------------------------------------------ invariants
+
+    def check_invariants(self) -> None:
+        """Structural sanity checks (used by tests and debug runs)."""
+        seen_blocks = set()
+        for block, buffer in self.table.items():
+            assert buffer.block == block, (block, buffer)
+            assert block not in seen_blocks
+            seen_blocks.add(block)
+            assert buffer.state in (BufferState.FETCHING, BufferState.READY)
+        assert self.unused_prefetched == len(self._budget_holders)
+        assert 0 <= self.unused_prefetched <= self.unused_limit
+        all_buffers = [
+            b for group in (self.demand_rusets + self.prefetch_sets)
+            for b in group
+        ]
+        assert len(all_buffers) == self.n_buffers
+        for buffer in all_buffers:
+            if buffer.block is not None and self.table.get(buffer.block) is buffer:
+                continue
+            assert buffer.block is None or buffer.state is BufferState.EMPTY

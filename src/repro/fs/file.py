@@ -1,0 +1,70 @@
+"""Interleaved file metadata.
+
+A file is a sequence of fixed-size blocks spread over the machine's disks by
+a :class:`~repro.fs.layout.FileLayout`.  The study is read-only (Section
+IV-B), so a file here is immutable metadata: name, size, layout.
+"""
+
+from __future__ import annotations
+
+from .layout import FileLayout, RoundRobinLayout
+
+__all__ = ["File"]
+
+
+class File:
+    """An interleaved, read-only file.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces and reports.
+    n_blocks:
+        File length in blocks (paper: 2000).
+    layout:
+        Block-to-disk mapping (paper: round-robin over 20 disks).
+    block_size:
+        Block size in bytes (paper: 1024).  Only used for reporting; the
+        cost model already prices a block transfer.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_blocks: int,
+        layout: FileLayout,
+        block_size: int = 1024,
+    ) -> None:
+        if n_blocks <= 0:
+            raise ValueError(f"n_blocks {n_blocks} must be positive")
+        if block_size <= 0:
+            raise ValueError(f"block_size {block_size} must be positive")
+        self.name = name
+        self.n_blocks = n_blocks
+        self.layout = layout
+        self.block_size = block_size
+
+    @classmethod
+    def interleaved(
+        cls, name: str, n_blocks: int, n_disks: int, block_size: int = 1024
+    ) -> "File":
+        """The paper's default: round-robin interleaving over all disks."""
+        return cls(name, n_blocks, RoundRobinLayout(n_disks), block_size)
+
+    def disk_for(self, block: int) -> int:
+        """Disk index holding ``block``."""
+        if not 0 <= block < self.n_blocks:
+            raise ValueError(
+                f"block {block} out of range [0, {self.n_blocks})"
+            )
+        return self.layout.disk_index(block)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.n_blocks * self.block_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<File {self.name!r} {self.n_blocks} x {self.block_size}B "
+            f"over {self.layout.n_disks} disks>"
+        )

@@ -1,0 +1,97 @@
+"""Per-node file-system facade: the demand read path.
+
+``read_block`` is what the synthetic applications call.  It glues together
+the node CPU protocol (hold while computing, release across waits), the
+memory system bracketing, the cache lookup, and metric/trace recording.
+
+Timing anatomy of one read (all emergent from the cost model):
+
+* ready hit:    call overhead + locked lookup + block copy  (~1-2 ms);
+* unready hit:  the above + *hit-wait* (remaining I/O of someone else's
+  fetch) + possible overrun on CPU reacquisition;
+* miss:         call overhead + locked lookup + allocation + disk enqueue
+  + full disk response (queueing + 30 ms) + copy + possible overrun.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..machine.node import IdleKind, Node
+from ..sim.events import Event
+from ..sim.resources import Request
+from .cache import BlockCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..metrics.collector import RunMetrics
+
+__all__ = ["FileServer"]
+
+
+class FileServer:
+    """The file system's application-facing interface."""
+
+    def __init__(self, cache: BlockCache) -> None:
+        self.cache = cache
+        self.env = cache.env
+        self.machine = cache.machine
+        self.metrics = cache.metrics
+
+    def read_block(
+        self,
+        node: Node,
+        cpu_req: Request,
+        block: int,
+        ref_index: int = -1,
+    ) -> Generator[Event, None, Request]:
+        """``yield from`` helper: read one block on behalf of ``node``'s
+        user process, which currently holds ``cpu_req``.
+
+        Returns the (possibly new) CPU claim — the claim changes whenever
+        the read had to wait for I/O.
+        """
+        env = self.env
+        memory = self.machine.memory
+        start = env.now
+
+        memory.enter()
+        yield env.timeout(self.cache.costs.read_call_overhead)
+        outcome = yield from self.cache.lookup_and_begin(node.node_id, block)
+
+        if outcome.kind == "ready":
+            yield from self.cache.copy_out(outcome.buffer)
+            memory.exit()
+            latency = env.now - start
+            self.metrics.record_read(node.node_id, latency)
+            self.cache.record_access(
+                node.node_id, block, "ready", latency, ref_index
+            )
+            return cpu_req
+
+        # Unready hit or miss: wait out the I/O as idle time.  We leave the
+        # memory system while asleep (no references issued).
+        memory.exit()
+        idle_kind = (
+            IdleKind.REMOTE_IO
+            if outcome.kind == "unready"
+            else IdleKind.SELF_IO
+        )
+        assert outcome.ready_event is not None
+        _, cpu_req = yield from node.idle_wait(
+            cpu_req, outcome.ready_event, idle_kind
+        )
+        if outcome.kind == "unready":
+            # Hit-wait: the logically necessary wait for the outstanding I/O.
+            self.metrics.record_hit_wait(node.idle_periods[-1].necessary)
+
+        memory.enter()
+        self.cache.complete_read(node.node_id, outcome.buffer)
+        yield from self.cache.copy_out(outcome.buffer)
+        memory.exit()
+
+        latency = env.now - start
+        self.metrics.record_read(node.node_id, latency)
+        self.cache.record_access(
+            node.node_id, block, outcome.kind, latency, ref_index
+        )
+        return cpu_req

@@ -1,0 +1,76 @@
+"""File-to-disk layouts.
+
+The testbed interleaves files Bridge-style: consecutive logical blocks are
+assigned to disks on different processor nodes round-robin, so consecutive
+blocks can be fetched in parallel (Section II-A).  :class:`RoundRobinLayout`
+is the paper's layout; the others support the layout-sensitivity extension
+experiments ("examining other variations on file system organization",
+Section VI).
+"""
+
+from __future__ import annotations
+
+__all__ = ["FileLayout", "RoundRobinLayout", "StripedLayout", "HashedLayout"]
+
+
+class FileLayout:
+    """Maps a logical block number to a disk index."""
+
+    def __init__(self, n_disks: int) -> None:
+        if n_disks <= 0:
+            raise ValueError(f"n_disks {n_disks} must be positive")
+        self.n_disks = n_disks
+
+    def disk_index(self, block: int) -> int:
+        raise NotImplementedError
+
+    def _check(self, block: int) -> None:
+        if block < 0:
+            raise ValueError(f"block {block} must be non-negative")
+
+
+class RoundRobinLayout(FileLayout):
+    """Block *i* lives on disk ``i mod n_disks`` (the paper's interleaving)."""
+
+    def disk_index(self, block: int) -> int:
+        self._check(block)
+        return block % self.n_disks
+
+
+class StripedLayout(FileLayout):
+    """Stripes of ``stripe_width`` consecutive blocks per disk.
+
+    ``stripe_width=1`` degenerates to round-robin.  Wider stripes trade
+    intra-file parallelism for per-disk sequentiality (relevant with the
+    seek disk model).
+    """
+
+    def __init__(self, n_disks: int, stripe_width: int = 4) -> None:
+        super().__init__(n_disks)
+        if stripe_width <= 0:
+            raise ValueError(f"stripe_width {stripe_width} must be positive")
+        self.stripe_width = stripe_width
+
+    def disk_index(self, block: int) -> int:
+        self._check(block)
+        return (block // self.stripe_width) % self.n_disks
+
+
+class HashedLayout(FileLayout):
+    """Pseudo-random but deterministic block placement.
+
+    Breaks up pathological alignments between access patterns and the
+    round-robin mapping (e.g. strided portions all landing on few disks).
+    Uses a multiplicative hash, stable across runs.
+    """
+
+    _MULTIPLIER = 0x9E3779B97F4A7C15  # 64-bit golden-ratio constant
+
+    def __init__(self, n_disks: int, seed: int = 0) -> None:
+        super().__init__(n_disks)
+        self.seed = seed
+
+    def disk_index(self, block: int) -> int:
+        self._check(block)
+        h = ((block + self.seed + 1) * self._MULTIPLIER) & (2**64 - 1)
+        return (h >> 32) % self.n_disks

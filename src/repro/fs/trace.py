@@ -1,0 +1,102 @@
+"""Access-trace recording.
+
+"The exact access pattern is recorded for off-line analysis of prefetching
+strategies" (Section IV-C).  Every block access produces a
+:class:`TraceRecord`; the :class:`Trace` container supports saving/loading
+as JSON lines and feeds :mod:`repro.experiments.analysis` (what-if hit
+ratios, optimal-replacement bounds, global-sequentiality measurement).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Union
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One block access as seen by the cache."""
+
+    time: float
+    node: int
+    block: int
+    #: "ready" | "unready" | "miss"
+    outcome: str
+    #: Block read latency experienced by the requester (ms).
+    latency: float
+    #: Reference-string index that produced the access (-1 if unknown).
+    ref_index: int = -1
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceRecord":
+        data = json.loads(line)
+        return cls(**data)
+
+
+class Trace:
+    """An append-only sequence of :class:`TraceRecord`."""
+
+    VALID_OUTCOMES = frozenset({"ready", "unready", "miss"})
+
+    def __init__(self, records: Optional[Iterable[TraceRecord]] = None) -> None:
+        self.records: List[TraceRecord] = list(records or [])
+
+    def append(self, record: TraceRecord) -> None:
+        if record.outcome not in self.VALID_OUTCOMES:
+            raise ValueError(f"invalid outcome {record.outcome!r}")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, idx: int) -> TraceRecord:
+        return self.records[idx]
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write as JSON lines."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for record in self.records:
+                fh.write(record.to_json())
+                fh.write("\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        path = Path(path)
+        records = []
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(TraceRecord.from_json(line))
+        return cls(records)
+
+    # -- simple views ------------------------------------------------------------
+
+    def blocks(self) -> List[int]:
+        """Block numbers in access order (the merged global string)."""
+        return [r.block for r in self.records]
+
+    def by_node(self, node: int) -> "Trace":
+        return Trace(r for r in self.records if r.node == node)
+
+    def time_sorted(self) -> "Trace":
+        return Trace(sorted(self.records, key=lambda r: (r.time, r.node)))
+
+    def outcome_counts(self) -> dict:
+        counts: dict = {"ready": 0, "unready": 0, "miss": 0}
+        for r in self.records:
+            counts[r.outcome] += 1
+        return counts

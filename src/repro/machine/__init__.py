@@ -1,0 +1,41 @@
+"""Simulated MIMD machine substrate.
+
+Models the Butterfly Plus testbed of the paper: NUMA shared memory with
+contention (:mod:`~repro.machine.memory`), processor nodes whose CPU is
+shared between the user process and file-system work
+(:mod:`~repro.machine.node`), and parallel independent disks
+(:mod:`~repro.machine.disk`).  All latency constants live in
+:class:`~repro.machine.costs.CostModel`.
+"""
+
+from .costs import CostModel
+from .disk import (
+    Disk,
+    DiskModel,
+    DiskRequest,
+    FixedDiskModel,
+    JitteredDiskModel,
+    RequestKind,
+    SeekDiskModel,
+)
+from .machine import Machine, MachineConfig
+from .memory import MemorySystem
+from .node import IdleEstimator, IdleKind, IdlePeriod, Node
+
+__all__ = [
+    "CostModel",
+    "MemorySystem",
+    "Disk",
+    "DiskModel",
+    "DiskRequest",
+    "FixedDiskModel",
+    "JitteredDiskModel",
+    "SeekDiskModel",
+    "RequestKind",
+    "Node",
+    "IdleKind",
+    "IdlePeriod",
+    "IdleEstimator",
+    "Machine",
+    "MachineConfig",
+]

@@ -1,0 +1,25 @@
+"""Measurement: run metrics, statistics helpers, and report rendering."""
+
+from .collector import RunMetrics
+from .report import format_cell, render_scatter, render_table
+from .stats import (
+    cdf_points,
+    fraction_below,
+    median,
+    pearson_r,
+    percent_reduction,
+    summarize,
+)
+
+__all__ = [
+    "RunMetrics",
+    "render_table",
+    "render_scatter",
+    "format_cell",
+    "percent_reduction",
+    "cdf_points",
+    "fraction_below",
+    "median",
+    "pearson_r",
+    "summarize",
+]

@@ -1,0 +1,189 @@
+"""Run-level metric collection.
+
+Gathers every measure the paper defines (Section IV-C):
+
+* overall completion time (the primary metric);
+* average time to read a block, overall and per node (the per-node split
+  feeds the benefit-distribution analysis behind Fig. 1 / the lfp anomaly);
+* cache hit ratio, split into *ready* and *unready* hits, plus hit-wait
+  times;
+* average effective disk access time (delegated to the Disk objects);
+* blocks prefetched vs demand-fetched;
+* per-idle-kind necessary/actual idle times and prefetch overrun
+  (delegated to the Nodes);
+* prefetch action lengths and failure reasons;
+* synchronization waits (delegated to the Barrier).
+
+The collector is write-mostly during a run; derived ratios are computed on
+demand.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..sim.monitor import Tally
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.core import Environment
+
+__all__ = ["RunMetrics"]
+
+
+class RunMetrics:
+    """Accumulates the measurements of one experimental run."""
+
+    def __init__(self, env: "Environment", n_nodes: int) -> None:
+        self.env = env
+        self.n_nodes = n_nodes
+
+        # Block reads.
+        self.read_times = Tally("read_time")
+        self.read_times_by_node: List[Tally] = [
+            Tally(f"read_time.node{i}") for i in range(n_nodes)
+        ]
+
+        # Cache outcome counters.
+        self.hits_ready = 0
+        self.hits_unready = 0
+        self.misses = 0
+        self.hits_ready_by_node = [0] * n_nodes
+        self.hits_unready_by_node = [0] * n_nodes
+        self.misses_by_node = [0] * n_nodes
+
+        #: Positive waits on unready hits (the hit-wait time).
+        self.hit_wait = Tally("hit_wait")
+
+        # Fetch counters.
+        self.blocks_demand_fetched = 0
+        self.blocks_prefetched = 0
+
+        # Prefetch actions.
+        self.prefetch_action_times = Tally("prefetch_action")
+        self.failed_action_times = Tally("failed_prefetch_action")
+        self.prefetch_outcomes: Dict[str, int] = {}
+
+        # Synchronization (filled in by the workload at run end).
+        self.sync_waits = Tally("sync_wait")
+
+        # Run span.
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+
+    # -- recording ------------------------------------------------------------
+
+    def begin_run(self) -> None:
+        self.start_time = self.env.now
+
+    def end_run(self) -> None:
+        self.end_time = self.env.now
+
+    def record_read(self, node_id: int, duration: float) -> None:
+        self.read_times.record(duration)
+        self.read_times_by_node[node_id].record(duration)
+
+    def record_ready_hit(self, node_id: int) -> None:
+        self.hits_ready += 1
+        self.hits_ready_by_node[node_id] += 1
+
+    def record_unready_hit(self, node_id: int) -> None:
+        self.hits_unready += 1
+        self.hits_unready_by_node[node_id] += 1
+
+    def record_hit_wait(self, wait: float) -> None:
+        self.hit_wait.record(wait)
+
+    def record_miss(self, node_id: int) -> None:
+        self.misses += 1
+        self.misses_by_node[node_id] += 1
+        self.blocks_demand_fetched += 1
+
+    def record_prefetch_issued(self) -> None:
+        self.blocks_prefetched += 1
+
+    def record_prefetch_action(
+        self, duration: float, outcome: str
+    ) -> None:
+        """One prefetch action (successful or not) of ``duration`` ms."""
+        self.prefetch_outcomes[outcome] = (
+            self.prefetch_outcomes.get(outcome, 0) + 1
+        )
+        if outcome == "success":
+            self.prefetch_action_times.record(duration)
+        else:
+            self.failed_action_times.record(duration)
+
+    # -- derived quantities -----------------------------------------------------
+
+    @property
+    def total_accesses(self) -> int:
+        return self.hits_ready + self.hits_unready + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of accesses finding a buffer reserved for their block
+        (ready *or* unready — the paper's generous definition)."""
+        total = self.total_accesses
+        if total == 0:
+            return 0.0
+        return (self.hits_ready + self.hits_unready) / total
+
+    @property
+    def miss_ratio(self) -> float:
+        return 1.0 - self.hit_ratio
+
+    @property
+    def ready_hit_fraction(self) -> float:
+        """Fraction of all accesses served by ready hits."""
+        total = self.total_accesses
+        return self.hits_ready / total if total else 0.0
+
+    @property
+    def unready_hit_fraction(self) -> float:
+        """Fraction of all accesses served by unready hits."""
+        total = self.total_accesses
+        return self.hits_unready / total if total else 0.0
+
+    @property
+    def avg_read_time(self) -> float:
+        return self.read_times.mean
+
+    @property
+    def avg_hit_wait(self) -> float:
+        """Mean positive wait over *unready* hits (0 when none occurred)."""
+        return self.hit_wait.mean
+
+    @property
+    def avg_hit_wait_all_hits(self) -> float:
+        """Mean hit-wait over **all** hits, counting ready hits as zero —
+        the paper's definition ("ready buffer hits have a zero hit-wait
+        time", Section V-A)."""
+        hits = self.hits_ready + self.hits_unready
+        if hits == 0:
+            return 0.0
+        return self.hit_wait.total / hits
+
+    @property
+    def total_time(self) -> float:
+        if self.start_time is None or self.end_time is None:
+            raise RuntimeError("run not complete")
+        return self.end_time - self.start_time
+
+    @property
+    def total_fetches(self) -> int:
+        """Disk reads issued (demand + prefetch)."""
+        return self.blocks_demand_fetched + self.blocks_prefetched
+
+    def per_node_mean_read_times(self) -> List[float]:
+        return [t.mean for t in self.read_times_by_node]
+
+    def benefit_imbalance(self) -> float:
+        """Spread of per-node mean read times: (max - min) / overall mean.
+
+        Zero when prefetching benefits are perfectly evenly distributed;
+        large values flag the Fig. 1(b) pathology.
+        """
+        means = [t.mean for t in self.read_times_by_node if t.count]
+        if not means or self.read_times.mean == 0:
+            return 0.0
+        return (max(means) - min(means)) / self.read_times.mean

@@ -1,0 +1,106 @@
+"""Plain-text rendering of figure data and suite summaries.
+
+The original figures are scatter plots and CDFs; terminals get tables.
+:func:`render_table` produces an aligned ASCII table, and
+:func:`render_scatter` a crude monospace scatter for eyeballing shapes
+(e.g. "all points below the y=x line" in Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["render_table", "render_scatter", "format_cell"]
+
+
+def format_cell(value) -> str:
+    """Human formatting: floats to 2 decimals, rest via str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Aligned ASCII table."""
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        if len(row) != len(columns):
+            raise ValueError(
+                f"row width {len(row)} != column count {len(columns)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(columns)))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def render_scatter(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 20,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    diagonal: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Monospace scatter plot.
+
+    ``diagonal=True`` overlays the y=x reference line (the paper's Figs. 3,
+    7, 8, 9 all plot prefetch-vs-no-prefetch against y=x).
+    """
+    if not points:
+        return "(no points)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    lo = min(min(xs), min(ys), 0.0)
+    hi = max(max(xs), max(ys))
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, int((x - lo) / span * (width - 1))))
+
+    def to_row(y: float) -> int:
+        return min(
+            height - 1, max(0, height - 1 - int((y - lo) / span * (height - 1)))
+        )
+
+    if diagonal:
+        for c in range(width):
+            x = lo + span * c / (width - 1)
+            grid[to_row(x)][c] = "."
+    for x, y in points:
+        grid[to_row(y)][to_col(x)] = "*"
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(f"{ylabel} (vertical) vs {xlabel} (horizontal); range "
+               f"[{lo:.1f}, {hi:.1f}]" + ("; '.' = y=x" if diagonal else ""))
+    out.extend("|" + "".join(row) for row in grid)
+    out.append("+" + "-" * width)
+    return "\n".join(out)

@@ -1,0 +1,76 @@
+"""Statistics helpers for figure generation and reporting."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "percent_reduction",
+    "cdf_points",
+    "fraction_below",
+    "median",
+    "pearson_r",
+    "summarize",
+]
+
+
+def percent_reduction(before: float, after: float) -> float:
+    """Percentage reduction from ``before`` to ``after``.
+
+    Positive = improvement; negative = slowdown.  Zero ``before`` yields
+    0.0 (nothing to reduce).
+    """
+    if before == 0:
+        return 0.0
+    return 100.0 * (before - after) / before
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction), sorted by value."""
+    data = sorted(values)
+    n = len(data)
+    return [(v, (i + 1) / n) for i, v in enumerate(data)]
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of ``values`` strictly below ``threshold`` (0.0 if empty)."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v < threshold) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; 0.0 for empty input (reporting convention)."""
+    if not values:
+        return 0.0
+    return float(np.median(np.asarray(values, dtype=float)))
+
+
+def pearson_r(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation; 0.0 for degenerate inputs."""
+    if len(xs) != len(ys):
+        raise ValueError("length mismatch")
+    if len(xs) < 2:
+        return 0.0
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    sx, sy = x.std(), y.std()
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Min/median/mean/max/count of a sample (zeros for empty input)."""
+    if not values:
+        return {"count": 0, "min": 0.0, "median": 0.0, "mean": 0.0, "max": 0.0}
+    arr = np.asarray(values, dtype=float)
+    return {
+        "count": int(arr.size),
+        "min": float(arr.min()),
+        "median": float(np.median(arr)),
+        "mean": float(arr.mean()),
+        "max": float(arr.max()),
+    }

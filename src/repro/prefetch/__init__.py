@@ -1,0 +1,45 @@
+"""Prefetching: policies, the idle-time daemon, and lead control.
+
+* :mod:`~repro.prefetch.policy` — the peek/commit policy contract and the
+  policy registry;
+* :mod:`~repro.prefetch.oracle` — the paper's reference-string oracle for
+  all six access patterns (with the Section V-E minimum prefetch lead);
+* :mod:`~repro.prefetch.daemon` — the per-node idle-time prefetcher with
+  overrun semantics and the Section V-D minimum-prefetch-time throttle;
+* :mod:`~repro.prefetch.predictors` — on-the-fly predictors (OBL, portion
+  detection, global sequential detection): the paper's future work.
+"""
+
+from .daemon import DaemonConfig, PrefetchDaemon
+from .lead import earliest_candidate_index, effective_lead
+from .oracle import OraclePolicy
+from .policy import (
+    NullPolicy,
+    PrefetchPolicy,
+    make_policy,
+    policy_names,
+    register_policy,
+)
+from .predictors import (
+    GlobalPortionPolicy,
+    GlobalSequentialPolicy,
+    OBLPolicy,
+    PortionPolicy,
+)
+
+__all__ = [
+    "PrefetchPolicy",
+    "NullPolicy",
+    "OraclePolicy",
+    "OBLPolicy",
+    "PortionPolicy",
+    "GlobalSequentialPolicy",
+    "GlobalPortionPolicy",
+    "PrefetchDaemon",
+    "DaemonConfig",
+    "effective_lead",
+    "earliest_candidate_index",
+    "make_policy",
+    "register_policy",
+    "policy_names",
+]

@@ -1,0 +1,40 @@
+"""Minimum-prefetch-lead arithmetic (Section V-E).
+
+To attack hit-wait time, the paper tried forcing prefetches to "lead" the
+demand activity: the policy refuses candidates fewer than ``lead``
+references ahead of the demand frontier, leaving near-frontier blocks to
+demand fetches.  The restriction is *relaxed near the end of the file* —
+otherwise the tail of the string could never be prefetched at all.
+
+These helpers keep that logic in one place for both the oracle and the
+predictor policies.
+"""
+
+from __future__ import annotations
+
+__all__ = ["effective_lead", "earliest_candidate_index"]
+
+
+def effective_lead(lead: int, frontier: int, n_refs: int) -> int:
+    """The lead actually enforced given the current frontier.
+
+    ``lead`` is the configured minimum prefetch lead (references).  When
+    fewer than ``lead`` references remain beyond the frontier, the
+    restriction is dropped (the paper's end-of-file relaxation).
+    """
+    if lead < 0:
+        raise ValueError(f"lead {lead} must be non-negative")
+    if lead == 0:
+        return 0
+    remaining = n_refs - (frontier + 1)
+    return lead if remaining > lead else 0
+
+
+def earliest_candidate_index(lead: int, frontier: int, n_refs: int) -> int:
+    """Smallest reference index a leading policy may propose.
+
+    With no lead this is simply ``frontier + 1``; with a lead it is
+    ``frontier + 1 + effective_lead`` (candidates must be at least the
+    lead distance ahead of the demand activity).
+    """
+    return frontier + 1 + effective_lead(lead, frontier, n_refs)

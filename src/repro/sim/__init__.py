@@ -1,0 +1,56 @@
+"""Deterministic discrete-event simulation kernel.
+
+A from-scratch, generator-driven simulator (no external dependency) with:
+
+* :class:`~repro.sim.core.Environment` — clock + heap scheduler;
+* :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.AllOf`/:class:`~repro.sim.events.AnyOf`;
+* :class:`~repro.sim.process.Process` with interrupts;
+* resources (:class:`~repro.sim.resources.Resource`,
+  :class:`~repro.sim.resources.Container`,
+  :class:`~repro.sim.resources.Store`);
+* synchronization (:class:`~repro.sim.sync.Barrier`,
+  :class:`~repro.sim.sync.Gate`, :class:`~repro.sim.sync.CountdownLatch`);
+* reproducible named RNG streams (:class:`~repro.sim.rng.RandomStreams`);
+* measurement (:class:`~repro.sim.monitor.Tally`,
+  :class:`~repro.sim.monitor.TimeWeighted`).
+
+Simulation time is a float in **milliseconds** throughout the project.
+"""
+
+from .core import EmptySchedule, Environment, StopSimulation
+from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .monitor import Tally, TimeWeighted
+from .process import Interrupt, Process
+from .resources import (
+    Container,
+    PriorityResource,
+    Resource,
+    Store,
+)
+from .rng import RandomStreams
+from .sync import Barrier, CountdownLatch, Gate
+
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "StopSimulation",
+    "Event",
+    "Timeout",
+    "Condition",
+    "ConditionValue",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "PriorityResource",
+    "Container",
+    "Store",
+    "Barrier",
+    "Gate",
+    "CountdownLatch",
+    "RandomStreams",
+    "Tally",
+    "TimeWeighted",
+]

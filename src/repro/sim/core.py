@@ -1,0 +1,168 @@
+"""The simulation environment: clock, event queue, and run loop.
+
+The scheduler is a binary heap ordered by ``(time, priority, sequence)``.
+The sequence number makes the order of simultaneous events fully
+deterministic: ties are broken by scheduling order, so a given seed always
+produces the identical execution — a property the experiment harness relies
+on for reproducibility.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from math import inf
+from typing import Any, Iterable, Optional, Union
+
+from .events import NORMAL, PENDING, AllOf, AnyOf, Event, Timeout
+from .process import Process, ProcessGenerator
+
+__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Raised to stop :meth:`Environment.run` when the *until* event fires."""
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        """Event callback that ends the run with the event's outcome."""
+        if event.ok:
+            raise cls(event.value)
+        raise event.value
+
+
+class Environment:
+    """Execution environment for a single simulation run.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (milliseconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_proc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else inf
+
+    # -- factories ------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` ms."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: ProcessGenerator, name: Optional[str] = None
+    ) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(
+        self, event: Event, priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Enqueue ``event`` to be processed after ``delay`` ms."""
+        self._eid += 1
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        EmptySchedule
+            If the queue is empty.
+        """
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failure that nothing handled: crash the simulation loudly.
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise RuntimeError(repr(exc))  # pragma: no cover - defensive
+
+    def run(self, until: Union[None, float, int, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until no events remain;
+            a number
+                run until the clock reaches that time;
+            an :class:`Event`
+                run until that event is processed, returning its value.
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at <= self._now:
+                raise ValueError(
+                    f"until={at} must lie in the future (now={self._now})"
+                )
+            until = Timeout(self, at - self._now)
+            # Bare timeouts are always "ok"; hitting it ends the run with
+            # value None.
+            until._value = None
+
+        if until is not None:
+            if until.callbacks is None:
+                # Already processed.
+                if until.ok:
+                    return until.value
+                raise until.value
+            until.callbacks.append(StopSimulation.callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0]
+        except EmptySchedule:
+            if until is not None and until._value is PENDING:
+                raise RuntimeError(
+                    f"no events scheduled but {until!r} never fired"
+                ) from None
+            return None

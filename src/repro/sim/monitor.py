@@ -1,0 +1,146 @@
+"""Measurement helpers: tallies and time-weighted series.
+
+The paper's measures (Section IV-C) are either *tallies* over discrete
+observations (block read times, hit-wait times, prefetch action lengths,
+overruns, synchronization waits) or *time-weighted* quantities (queue
+lengths, utilization).  :class:`Tally` and :class:`TimeWeighted` cover both;
+they retain raw samples optionally so the figure generators can compute
+medians, percentiles, and CDFs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core import Environment
+
+__all__ = ["Tally", "TimeWeighted"]
+
+
+class Tally:
+    """Streaming summary of discrete observations.
+
+    Keeps count/sum/sum-of-squares/min/max always; keeps the raw samples
+    when ``keep_samples`` (the default, since runs are small enough and the
+    figure generators need percentiles).
+    """
+
+    def __init__(self, name: str = "", keep_samples: bool = True) -> None:
+        self.name = name
+        self.keep_samples = keep_samples
+        self.count = 0
+        self.total = 0.0
+        self._sumsq = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self._sumsq += value * value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.keep_samples:
+            self.samples.append(value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean; 0.0 when empty (by convention, not error)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance; 0.0 when fewer than two observations."""
+        if self.count < 2:
+            return 0.0
+        m = self.mean
+        return max(0.0, self._sumsq / self.count - m * m)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0..100) of the retained samples."""
+        if not self.keep_samples:
+            raise RuntimeError(f"tally {self.name!r} kept no samples")
+        if not self.samples:
+            return 0.0
+        data = sorted(self.samples)
+        if len(data) == 1:
+            return data[0]
+        pos = (q / 100.0) * (len(data) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def cdf(self) -> List[tuple[float, float]]:
+        """Empirical CDF as (value, cumulative fraction) points."""
+        if not self.keep_samples:
+            raise RuntimeError(f"tally {self.name!r} kept no samples")
+        data = sorted(self.samples)
+        n = len(data)
+        return [(v, (i + 1) / n) for i, v in enumerate(data)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Tally {self.name!r} n={self.count} mean={self.mean:.3f} "
+            f"min={self.min} max={self.max}>"
+        )
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant quantity.
+
+    Typical use: queue length or busy-server count.  Call :meth:`set` at
+    every change; the integral is accumulated against the simulation clock.
+    """
+
+    def __init__(self, env: "Environment", initial: float = 0.0) -> None:
+        self.env = env
+        self._value = float(initial)
+        self._last_change = env.now
+        self._area = 0.0
+        self._start = env.now
+        self.max = float(initial)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Record that the quantity changed to ``value`` at the current time."""
+        now = self.env.now
+        self._area += self._value * (now - self._last_change)
+        self._last_change = now
+        self._value = float(value)
+        if self._value > self.max:
+            self.max = self._value
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Average value from creation to ``until`` (default: now)."""
+        end = self.env.now if until is None else until
+        span = end - self._start
+        if span <= 0:
+            return self._value
+        area = self._area + self._value * (end - self._last_change)
+        return area / span

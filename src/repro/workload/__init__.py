@@ -1,0 +1,37 @@
+"""Synthetic parallel workloads: access patterns, synchronization styles,
+the application process, and the paper's experiment mix."""
+
+from .application import application
+from .patterns import PATTERN_NAMES, AccessPattern, make_hybrid, make_pattern
+from .progress import ProgressTracker
+from .suite import WorkloadSpec, balanced_compute_mean, standard_suite
+from .synchronization import (
+    SYNC_STYLES,
+    DynamicBarrier,
+    NoSync,
+    PerProcessCountSync,
+    PortionSync,
+    SyncCoordinator,
+    TotalCountSync,
+    make_sync,
+)
+
+__all__ = [
+    "PATTERN_NAMES",
+    "AccessPattern",
+    "make_pattern",
+    "make_hybrid",
+    "ProgressTracker",
+    "SYNC_STYLES",
+    "DynamicBarrier",
+    "SyncCoordinator",
+    "NoSync",
+    "PerProcessCountSync",
+    "TotalCountSync",
+    "PortionSync",
+    "make_sync",
+    "application",
+    "WorkloadSpec",
+    "standard_suite",
+    "balanced_compute_mean",
+]

@@ -1,0 +1,75 @@
+"""The synthetic parallel application.
+
+One process per node, all running the same program (Section IV-D): read a
+block, simulate computation on it (exponentially distributed delay), and
+synchronize per the configured style.  The process holds its node's CPU
+while computing and releases it across every wait, which is what gives the
+prefetch daemon its idle windows.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..machine.node import IdleKind, Node
+from ..sim.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fs.fileserver import FileServer
+    from .patterns import AccessPattern
+    from .progress import ProgressTracker
+    from .synchronization import SyncCoordinator
+
+__all__ = ["application"]
+
+
+def application(
+    node: Node,
+    server: "FileServer",
+    tracker: "ProgressTracker",
+    sync: "SyncCoordinator",
+    pattern: "AccessPattern",
+    rng: RandomStreams,
+    compute_mean: float,
+):
+    """Generator for one node's user process.
+
+    Loop: claim the next reference (own string for local patterns,
+    self-scheduled from the shared string for global ones) → read the
+    block → compute Exp(``compute_mean``) ms → settle any owed
+    synchronization visits.  Departs the barrier and exits when the
+    relevant string is exhausted.
+    """
+    env = node.env
+    node_id = node.node_id
+    portions = pattern.portions_for(node_id)
+    n_refs = len(pattern.string_for(node_id))
+
+    cpu = yield from node.acquire_cpu()
+    while True:
+        nxt = tracker.next_ref(node_id)
+        if nxt is None:
+            break
+        idx, block = nxt
+
+        cpu = yield from server.read_block(node, cpu, block, idx)
+        tracker.mark_consumed(node_id, idx)
+        portion_id = int(portions[idx])
+
+        # Simulated per-block computation, holding the CPU.
+        delay = rng.exponential(f"compute/node{node_id}", compute_mean)
+        if delay > 0.0:
+            yield env.timeout(delay)
+
+        sync.after_read(node_id, idx, portion_id)
+        if pattern.scope == "local" and (
+            idx == n_refs - 1 or int(portions[idx + 1]) != portion_id
+        ):
+            sync.note_portion_complete(node_id)
+
+        while sync.owes(node_id):
+            event = sync.join(node_id)
+            _, cpu = yield from node.idle_wait(cpu, event, IdleKind.SYNC)
+
+    sync.depart(node_id)
+    node.release_cpu(cpu)

@@ -1,0 +1,111 @@
+"""Shared progress state over an access pattern.
+
+The tracker is the meeting point between the synthetic application (which
+*consumes* references) and the prefetch policy (which looks *ahead* of
+consumption):
+
+* local patterns: each node walks its own string front to back;
+* global patterns: nodes **self-schedule** from a shared cursor, so the
+  merged request order is roughly sequential — exactly the paper's
+  "processors cooperate … globally sequential, locally no discernible
+  portions".
+
+The *frontier* is the index of the most recent reference handed to a
+demand read ("the current demand-fetch activity", Section V-E); the
+minimum-prefetch-lead policy measures distance from it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .patterns import AccessPattern
+
+__all__ = ["ProgressTracker"]
+
+
+class ProgressTracker:
+    """Issue/consume bookkeeping over one :class:`AccessPattern`."""
+
+    def __init__(self, pattern: AccessPattern, n_nodes: int) -> None:
+        if pattern.scope == "local" and pattern.n_strings != n_nodes:
+            raise ValueError(
+                f"local pattern has {pattern.n_strings} strings "
+                f"but n_nodes={n_nodes}"
+            )
+        self.pattern = pattern
+        self.n_nodes = n_nodes
+        if pattern.scope == "local":
+            self._issued: List[int] = [0] * n_nodes
+            self._consumed: List[int] = [0] * n_nodes
+        else:
+            self._issued = [0]
+            self._consumed = [0]
+
+    # -- scope helpers ----------------------------------------------------------
+
+    def _scope(self, node_id: int) -> int:
+        if not 0 <= node_id < self.n_nodes:
+            raise ValueError(f"node_id {node_id} out of range")
+        return node_id if self.pattern.scope == "local" else 0
+
+    def n_refs(self, node_id: int) -> int:
+        """Length of the string ``node_id`` draws from."""
+        return len(self.pattern.string_for(node_id))
+
+    # -- demand-side interface ----------------------------------------------------
+
+    def next_ref(self, node_id: int) -> Optional[Tuple[int, int]]:
+        """Claim the next reference for ``node_id``: ``(index, block)``, or
+        ``None`` when the relevant string is exhausted."""
+        scope = self._scope(node_id)
+        string = self.pattern.string_for(node_id)
+        idx = self._issued[scope]
+        if idx >= len(string):
+            return None
+        self._issued[scope] = idx + 1
+        return idx, int(string[idx])
+
+    def mark_consumed(self, node_id: int, index: int) -> None:
+        """Record that the read of reference ``index`` completed."""
+        scope = self._scope(node_id)
+        if index >= self._issued[scope]:
+            raise ValueError(
+                f"ref {index} consumed before being issued (scope {scope})"
+            )
+        self._consumed[scope] += 1
+
+    # -- policy-side interface -------------------------------------------------------
+
+    def frontier(self, node_id: int) -> int:
+        """Index of the most recently *issued* reference in ``node_id``'s
+        string (-1 before any demand activity)."""
+        return self._issued[self._scope(node_id)] - 1
+
+    def issued(self, node_id: int) -> int:
+        return self._issued[self._scope(node_id)]
+
+    def consumed(self, node_id: int) -> int:
+        return self._consumed[self._scope(node_id)]
+
+    def remaining(self, node_id: int) -> int:
+        """References not yet issued in ``node_id``'s string."""
+        scope = self._scope(node_id)
+        return len(self.pattern.string_for(node_id)) - self._issued[scope]
+
+    # -- run-level ----------------------------------------------------------------
+
+    @property
+    def total_consumed(self) -> int:
+        return sum(self._consumed)
+
+    @property
+    def total_issued(self) -> int:
+        return sum(self._issued)
+
+    @property
+    def total_refs(self) -> int:
+        return self.pattern.total_reads
+
+    def all_done(self) -> bool:
+        return self.total_consumed == self.total_refs

@@ -1,0 +1,63 @@
+"""The paper's experiment mix (Section IV-B/IV-D).
+
+"The suite of test runs consists of a uniform mix of the six file access
+patterns, the four synchronization styles, and two levels of I/O
+intensity."  Exclusions, as in the paper:
+
+* ``lw`` is not combined with portion synchronization (footnote 3);
+* the balanced-intensity compute mean is 30 ms, except ``lw`` which uses
+  10 ms (its high interprocess locality already lowers I/O time);
+* the I/O-bound intensity uses 0 ms compute for all patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .patterns import PATTERN_NAMES
+from .synchronization import SYNC_STYLES
+
+__all__ = ["WorkloadSpec", "standard_suite", "balanced_compute_mean"]
+
+
+def balanced_compute_mean(pattern: str) -> float:
+    """The paper's balanced-intensity compute mean for ``pattern`` (ms)."""
+    return 10.0 if pattern == "lw" else 30.0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One cell of the experiment mix."""
+
+    pattern: str
+    sync_style: str
+    #: Mean per-block compute (ms); 0 = the I/O-bound intensity.
+    compute_mean: float
+
+    @property
+    def intensity(self) -> str:
+        return "io-bound" if self.compute_mean == 0.0 else "balanced"
+
+    @property
+    def label(self) -> str:
+        return f"{self.pattern}/{self.sync_style}/{self.intensity}"
+
+
+def standard_suite() -> List[WorkloadSpec]:
+    """The full mix: 6 patterns x 4 sync styles x 2 intensities, minus the
+    lw-with-portion-sync cells — 46 workloads."""
+    specs: List[WorkloadSpec] = []
+    for pattern in PATTERN_NAMES:
+        for sync_style in SYNC_STYLES:
+            if pattern == "lw" and sync_style == "portion":
+                continue  # footnote 3: not fairly comparable
+            for compute in (balanced_compute_mean(pattern), 0.0):
+                specs.append(
+                    WorkloadSpec(
+                        pattern=pattern,
+                        sync_style=sync_style,
+                        compute_mean=compute,
+                    )
+                )
+    return specs

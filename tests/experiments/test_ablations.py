@@ -1,0 +1,51 @@
+"""Tests for the ablation experiments (small-scale smoke checks; the
+full-scale versions run as benchmarks)."""
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+
+def test_layout_config_builds_each_layout():
+    for layout in ("round-robin", "striped", "hashed"):
+        r = run_experiment(
+            ExperimentConfig(
+                pattern="gw", n_nodes=4, n_disks=4, file_blocks=100,
+                total_reads=100, layout=layout, compute_mean=0.0,
+            )
+        )
+        assert r.total_accesses == 100, layout
+
+
+def test_layout_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ExperimentConfig(layout="diagonal")
+    with pytest.raises(ValueError):
+        ExperimentConfig(stripe_width=0)
+
+
+def test_striping_hurts_cooperating_sequential_reads():
+    """Consecutive blocks behind one disk serialize the gw readers."""
+    common = dict(
+        pattern="gw", n_nodes=4, n_disks=4, file_blocks=200,
+        total_reads=200, compute_mean=0.0, prefetch=False, seed=3,
+    )
+    rr = run_experiment(ExperimentConfig(layout="round-robin", **common))
+    striped = run_experiment(
+        ExperimentConfig(layout="striped", stripe_width=8, **common)
+    )
+    assert striped.disk_response_mean > rr.disk_response_mean
+
+
+def test_naive_structures_slow_prefetch_actions():
+    common = dict(
+        pattern="gw", n_nodes=4, n_disks=4, file_blocks=200,
+        total_reads=200, seed=3,
+    )
+    fast = run_experiment(
+        ExperimentConfig(replicated_structures=True, **common)
+    )
+    slow = run_experiment(
+        ExperimentConfig(replicated_structures=False, **common)
+    )
+    assert slow.prefetch_action_mean > 1.5 * fast.prefetch_action_mean

@@ -1,0 +1,75 @@
+"""Tests for ExperimentConfig."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+def test_defaults_match_paper():
+    cfg = ExperimentConfig()
+    assert cfg.n_nodes == 20
+    assert cfg.n_disks == 20
+    assert cfg.file_blocks == 2000
+    assert cfg.effective_total_reads == 2000
+    assert cfg.demand_buffers_per_node == 1
+    assert cfg.prefetch_buffers_per_node == 3
+    assert cfg.per_proc_k == 10
+    assert cfg.total_k == 200
+    assert cfg.costs.disk_access_time == 30.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(pattern="nope")
+    with pytest.raises(ValueError):
+        ExperimentConfig(sync_style="nope")
+    with pytest.raises(ValueError):
+        ExperimentConfig(policy="psychic")
+    with pytest.raises(ValueError):
+        ExperimentConfig(compute_mean=-1.0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(lead=-1)
+    with pytest.raises(ValueError):
+        ExperimentConfig(min_prefetch_time=-0.5)
+
+
+def test_lw_portion_combination_rejected():
+    with pytest.raises(ValueError, match="footnote 3"):
+        ExperimentConfig(pattern="lw", sync_style="portion")
+
+
+def test_intensity():
+    assert ExperimentConfig(compute_mean=0.0).intensity == "io-bound"
+    assert ExperimentConfig(compute_mean=30.0).intensity == "balanced"
+
+
+def test_label_includes_key_fields():
+    cfg = ExperimentConfig(pattern="lfp", sync_style="total", lead=20)
+    assert "lfp" in cfg.label
+    assert "total" in cfg.label
+    assert "lead=20" in cfg.label
+    base = cfg.paired_baseline()
+    assert "no-prefetch" in base.label
+
+
+def test_paired_baseline_shares_seed():
+    cfg = ExperimentConfig(seed=42)
+    base = cfg.paired_baseline()
+    assert base.seed == 42
+    assert not base.prefetch
+    assert cfg.prefetch
+
+
+def test_with_overrides():
+    cfg = ExperimentConfig()
+    other = cfg.with_overrides(lead=10, seed=9)
+    assert other.lead == 10
+    assert other.seed == 9
+    assert cfg.lead == 0
+
+
+def test_configs_hashable_and_comparable():
+    a = ExperimentConfig(seed=1)
+    b = ExperimentConfig(seed=1)
+    assert a == b
+    assert hash(a) == hash(b)

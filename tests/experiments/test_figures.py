@@ -1,0 +1,141 @@
+"""Unit tests for the figure generators on a miniature suite.
+
+A scaled-down machine (6 nodes, 300-block file) makes the whole module
+run in a few seconds.  These tests verify mechanics — row shapes, check
+evaluation, selector behaviour — not the paper's full-scale claims (the
+benchmarks assert those at the paper's sizing).
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig3_read_time,
+    fig4_hit_ratio,
+    fig5_ready_unready,
+    fig6_hitwait_vs_readtime,
+    fig7_disk_response,
+    fig8_total_time,
+    fig9_sync_time,
+    fig10_reductions,
+    fig11_hitratio_vs_reduction,
+    run_suite,
+)
+from repro.experiments.figures import FigureData
+from repro.workload import WorkloadSpec, balanced_compute_mean
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    specs = [
+        WorkloadSpec(p, "per-proc", balanced_compute_mean(p))
+        for p in ("lfp", "lrp", "lw", "gfp", "grp", "gw")
+    ]
+    return run_suite(
+        seed=2,
+        specs=specs,
+        n_nodes=6,
+        n_disks=6,
+        file_blocks=300,
+        total_reads=300,
+    )
+
+
+def test_figure_data_helpers():
+    fig = FigureData(
+        figure_id="x", title="t", columns=["a"], rows=[(1,)],
+        checks={"ok": True, "bad": False},
+    )
+    assert not fig.all_checks_pass
+    assert fig.failed_checks() == ["bad"]
+    assert FigureData("x", "t", ["a"], []).all_checks_pass
+
+
+def test_fig3_rows_and_reduction(mini_suite):
+    fig = fig3_read_time(mini_suite)
+    assert len(fig.rows) == 6
+    for label, base, pf, reduction in fig.rows:
+        assert reduction == pytest.approx(100.0 * (base - pf) / base)
+
+
+def test_fig4_ratios_in_range(mini_suite):
+    fig = fig4_hit_ratio(mini_suite)
+    for label, base, pf in fig.rows:
+        assert 0.0 <= base <= 1.0
+        assert 0.0 <= pf <= 1.0
+        assert pf > base  # prefetching always improves the hit ratio here
+
+
+def test_fig5_fraction_sanity(mini_suite):
+    fig = fig5_ready_unready(mini_suite)
+    assert fig.checks["fractions_valid"]
+
+
+def test_fig6_has_notes(mini_suite):
+    fig = fig6_hitwait_vs_readtime(mini_suite)
+    assert "pearson" in fig.notes
+
+
+def test_fig7_rows(mini_suite):
+    fig = fig7_disk_response(mini_suite)
+    assert fig.checks["never_below_physical_time"]
+
+
+def test_fig8_reductions_consistent(mini_suite):
+    fig = fig8_total_time(mini_suite)
+    for label, base, pf, reduction in fig.rows:
+        assert reduction == pytest.approx(100.0 * (base - pf) / base)
+
+
+def test_fig9_only_sync_cells(mini_suite):
+    fig = fig9_sync_time(mini_suite)
+    assert len(fig.rows) == 6  # all mini cells use per-proc sync
+
+
+def test_fig9_excludes_none_style():
+    suite = run_suite(
+        seed=2,
+        specs=[WorkloadSpec("gw", "none", 0.0)],
+        n_nodes=4, n_disks=4, file_blocks=100, total_reads=100,
+    )
+    fig = fig9_sync_time(suite)
+    assert fig.rows == []
+
+
+def test_fig10_fig11_row_count(mini_suite):
+    assert len(fig10_reductions(mini_suite).rows) == 6
+    assert len(fig11_hitratio_vs_reduction(mini_suite).rows) == 6
+
+
+def test_suite_config_overrides_applied(mini_suite):
+    cfg = mini_suite.pairs[0].prefetch.config
+    assert cfg.n_nodes == 6
+    assert cfg.file_blocks == 300
+
+
+def test_figure_data_paired_points():
+    fig = FigureData(
+        figure_id="fig3", title="t",
+        columns=["exp", "base", "pf", "red"],
+        rows=[("a", 10.0, 5.0, 50.0), ("b", 20.0, 8.0, 60.0)],
+    )
+    assert fig.paired_points() == [(10.0, 5.0), (20.0, 8.0)]
+    unpaired = FigureData("fig12", "t", ["a"], [(1.0,)])
+    assert unpaired.paired_points() is None
+
+
+def test_figure_data_to_markdown():
+    fig = FigureData(
+        figure_id="figX", title="Title",
+        columns=["name", "value"],
+        rows=[("a", 1.5), ("b", True)],
+        checks={"ok": True, "bad": False},
+        notes="a note",
+    )
+    md = fig.to_markdown()
+    assert "### figX: Title" in md
+    assert "| name | value |" in md
+    assert "| a | 1.50 |" in md
+    assert "| b | yes |" in md
+    assert "*a note*" in md
+    assert "- check `ok`: PASS" in md
+    assert "- check `bad`: FAIL" in md

@@ -1,0 +1,65 @@
+"""Tests for the paired-suite driver (on a reduced spec list)."""
+
+from repro.experiments import config_for_spec, run_suite
+from repro.workload import WorkloadSpec
+
+
+SMALL_SPECS = [
+    WorkloadSpec("gw", "none", 0.0),
+    WorkloadSpec("lw", "per-proc", 10.0),
+]
+
+
+def small_suite(seed=1):
+    return run_suite(
+        seed=seed,
+        specs=[
+            # Shrink the runs via config overrides by monkey... instead,
+            # use the standard sizing but only two cells: still fast.
+            *SMALL_SPECS,
+        ],
+    )
+
+
+def test_config_for_spec_maps_fields():
+    spec = WorkloadSpec("lfp", "total", 30.0)
+    cfg = config_for_spec(spec, seed=7)
+    assert cfg.pattern == "lfp"
+    assert cfg.sync_style == "total"
+    assert cfg.compute_mean == 30.0
+    assert cfg.seed == 7
+    assert cfg.prefetch
+
+
+def test_run_suite_produces_pairs():
+    suite = small_suite()
+    assert len(suite.pairs) == 2
+    for pair in suite.pairs:
+        assert pair.prefetch.config.prefetch
+        assert not pair.baseline.config.prefetch
+        assert pair.prefetch.config.seed == pair.baseline.config.seed
+
+
+def test_pair_reductions():
+    suite = small_suite()
+    for pair in suite.pairs:
+        expected = 100.0 * (
+            pair.baseline.total_time - pair.prefetch.total_time
+        ) / pair.baseline.total_time
+        assert abs(pair.total_time_reduction - expected) < 1e-9
+
+
+def test_suite_selectors():
+    suite = small_suite()
+    assert len(suite.by_pattern("gw")) == 1
+    assert len(suite.by_pattern("lfp")) == 0
+    assert len(suite.io_bound()) == 1
+    assert len(suite.balanced()) == 1
+    assert len(suite.with_sync()) == 1
+
+
+def test_progress_callback_called():
+    messages = []
+    run_suite(seed=1, specs=[SMALL_SPECS[0]], progress=messages.append)
+    assert len(messages) == 1
+    assert "gw" in messages[0]

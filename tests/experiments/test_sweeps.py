@@ -1,0 +1,76 @@
+"""Tests for the generic parameter-sweep utility."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_sweep, sweepable_fields
+
+SMALL = ExperimentConfig(
+    pattern="gw", sync_style="per-proc", per_proc_k=5,
+    n_nodes=4, n_disks=4, file_blocks=120, total_reads=120,
+    compute_mean=10.0,
+)
+
+
+def test_sweepable_fields_cover_config():
+    names = sweepable_fields()
+    for expected in ("lead", "policy", "compute_mean", "n_nodes",
+                     "prefetch_buffers_per_node"):
+        assert expected in names
+    assert "costs" not in names
+
+
+def test_unknown_param_rejected():
+    with pytest.raises(ValueError, match="cannot sweep"):
+        run_sweep("warp_factor", [1], base=SMALL)
+
+
+def test_empty_values_rejected():
+    with pytest.raises(ValueError, match="non-empty"):
+        run_sweep("lead", [], base=SMALL)
+
+
+def test_lead_sweep_shares_baseline():
+    sweep = run_sweep("lead", [0, 5], base=SMALL)
+    assert len(sweep.points) == 2
+    # Prefetch-only parameter: the baseline object is shared.
+    assert sweep.points[0].baseline is sweep.points[1].baseline
+    assert sweep.points[0].prefetch.config.lead == 0
+    assert sweep.points[1].prefetch.config.lead == 5
+
+
+def test_machine_param_reruns_baseline():
+    sweep = run_sweep("compute_mean", [0.0, 10.0], base=SMALL)
+    assert sweep.points[0].baseline is not sweep.points[1].baseline
+    assert (
+        sweep.points[1].baseline.total_time
+        > sweep.points[0].baseline.total_time
+    )
+
+
+def test_rows_and_series():
+    sweep = run_sweep("lead", [0, 5], base=SMALL)
+    rows = sweep.rows()
+    assert len(rows) == 2
+    assert rows[0][0] == 0
+    assert len(rows[0]) == len(sweep.COLUMNS)
+    totals = sweep.series(lambda p: p.prefetch.total_time)
+    assert all(t > 0 for t in totals)
+
+
+def test_reduction_properties():
+    sweep = run_sweep("lead", [0], base=SMALL)
+    point = sweep.points[0]
+    expected = (
+        100.0
+        * (point.baseline.total_time - point.prefetch.total_time)
+        / point.baseline.total_time
+    )
+    assert point.total_time_reduction == pytest.approx(expected)
+
+
+def test_policy_sweep():
+    sweep = run_sweep(
+        "policy", ["oracle", "obl"], base=SMALL, share_baseline=True
+    )
+    oracle, obl = sweep.points
+    assert oracle.prefetch.hit_ratio >= obl.prefetch.hit_ratio

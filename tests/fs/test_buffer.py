@@ -1,0 +1,146 @@
+"""Tests for Buffer state transitions and evictability."""
+
+import pytest
+
+from repro.fs import Buffer, BufferPool, BufferState
+from repro.machine import RequestKind
+from repro.sim import Environment
+
+
+def make_buffer(pool=BufferPool.DEMAND):
+    env = Environment()
+    return env, Buffer(env, index=0, home_node=2, pool=pool)
+
+
+def test_initial_state():
+    env, buf = make_buffer()
+    assert buf.state is BufferState.EMPTY
+    assert buf.block is None
+    assert buf.is_evictable
+    assert buf.pins == 0
+
+
+def test_start_fetch_transitions():
+    env, buf = make_buffer()
+    ev = buf.start_fetch(5, RequestKind.DEMAND, by_node=1)
+    assert buf.state is BufferState.FETCHING
+    assert buf.block == 5
+    assert buf.fetched_by == 1
+    assert not ev.triggered
+    assert not buf.is_evictable  # fetching is never evictable
+
+
+def test_double_fetch_rejected():
+    env, buf = make_buffer()
+    buf.start_fetch(5, RequestKind.DEMAND, 0)
+    with pytest.raises(RuntimeError):
+        buf.start_fetch(6, RequestKind.DEMAND, 0)
+
+
+def test_fetch_pinned_rejected():
+    env, buf = make_buffer()
+    buf.pin()
+    with pytest.raises(RuntimeError):
+        buf.start_fetch(5, RequestKind.DEMAND, 0)
+
+
+def test_mark_ready_wakes_waiters():
+    env, buf = make_buffer()
+    got = []
+
+    def waiter(ev):
+        value = yield ev
+        got.append(value)
+
+    ev = buf.start_fetch(5, RequestKind.DEMAND, 0)
+    env.process(waiter(ev))
+    buf.mark_ready()
+    env.run()
+    assert got == [buf]
+    assert buf.state is BufferState.READY
+
+
+def test_mark_ready_requires_fetching():
+    env, buf = make_buffer()
+    with pytest.raises(RuntimeError):
+        buf.mark_ready()
+
+
+def test_record_use_requires_ready():
+    env, buf = make_buffer()
+    buf.start_fetch(5, RequestKind.DEMAND, 0)
+    with pytest.raises(RuntimeError):
+        buf.record_use()
+    buf.mark_ready()
+    buf.record_use()
+    assert buf.read_count == 1
+
+
+def test_demand_ready_unread_is_evictable():
+    env, buf = make_buffer()
+    buf.start_fetch(5, RequestKind.DEMAND, 0)
+    buf.mark_ready()
+    assert buf.is_evictable
+
+
+def test_prefetched_unused_is_protected():
+    env, buf = make_buffer(BufferPool.PREFETCH)
+    buf.start_fetch(5, RequestKind.PREFETCH, 0)
+    buf.mark_ready()
+    assert not buf.is_evictable  # prefetched-but-unused
+    buf.record_use()
+    assert buf.is_evictable  # consumed: reusable
+
+
+def test_pinned_never_evictable():
+    env, buf = make_buffer()
+    buf.start_fetch(5, RequestKind.DEMAND, 0)
+    buf.mark_ready()
+    buf.record_use()
+    buf.pin()
+    assert not buf.is_evictable
+    buf.unpin()
+    assert buf.is_evictable
+
+
+def test_unpin_without_pin_raises():
+    env, buf = make_buffer()
+    with pytest.raises(RuntimeError):
+        buf.unpin()
+
+
+def test_invalidate_clears_state():
+    env, buf = make_buffer()
+    buf.start_fetch(5, RequestKind.DEMAND, 0)
+    buf.mark_ready()
+    buf.record_use()
+    buf.invalidate()
+    assert buf.state is BufferState.EMPTY
+    assert buf.block is None
+    assert buf.read_count == 0
+    assert buf.fetch_kind is None
+
+
+def test_invalidate_fetching_rejected():
+    env, buf = make_buffer()
+    buf.start_fetch(5, RequestKind.DEMAND, 0)
+    with pytest.raises(RuntimeError):
+        buf.invalidate()
+
+
+def test_invalidate_pinned_rejected():
+    env, buf = make_buffer()
+    buf.pin()
+    with pytest.raises(RuntimeError):
+        buf.invalidate()
+
+
+def test_refetch_resets_read_count():
+    env, buf = make_buffer()
+    buf.start_fetch(5, RequestKind.DEMAND, 0)
+    buf.mark_ready()
+    buf.record_use()
+    buf.invalidate()
+    buf.start_fetch(9, RequestKind.PREFETCH, 3)
+    assert buf.read_count == 0
+    assert buf.fetch_kind is RequestKind.PREFETCH

@@ -1,0 +1,30 @@
+"""Tests for File metadata."""
+
+import pytest
+
+from repro.fs import File, RoundRobinLayout
+
+
+def test_file_validation():
+    with pytest.raises(ValueError):
+        File("f", 0, RoundRobinLayout(4))
+    with pytest.raises(ValueError):
+        File("f", 10, RoundRobinLayout(4), block_size=0)
+
+
+def test_interleaved_factory_matches_paper():
+    f = File.interleaved("data", 2000, 20)
+    assert f.n_blocks == 2000
+    assert f.block_size == 1024
+    assert f.size_bytes == 2000 * 1024
+    assert f.disk_for(0) == 0
+    assert f.disk_for(19) == 19
+    assert f.disk_for(20) == 0
+
+
+def test_disk_for_out_of_range():
+    f = File.interleaved("data", 100, 4)
+    with pytest.raises(ValueError):
+        f.disk_for(100)
+    with pytest.raises(ValueError):
+        f.disk_for(-1)

@@ -1,0 +1,59 @@
+"""Tests for file layouts."""
+
+import pytest
+
+from repro.fs import HashedLayout, RoundRobinLayout, StripedLayout
+
+
+def test_layout_validation():
+    with pytest.raises(ValueError):
+        RoundRobinLayout(0)
+    with pytest.raises(ValueError):
+        StripedLayout(4, stripe_width=0)
+
+
+def test_round_robin_mapping():
+    layout = RoundRobinLayout(4)
+    assert [layout.disk_index(b) for b in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_round_robin_negative_block_rejected():
+    with pytest.raises(ValueError):
+        RoundRobinLayout(4).disk_index(-1)
+
+
+def test_striped_mapping():
+    layout = StripedLayout(2, stripe_width=3)
+    assert [layout.disk_index(b) for b in range(12)] == [
+        0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1,
+    ]
+
+
+def test_striped_width_one_is_round_robin():
+    striped = StripedLayout(5, stripe_width=1)
+    rr = RoundRobinLayout(5)
+    for b in range(50):
+        assert striped.disk_index(b) == rr.disk_index(b)
+
+
+def test_hashed_layout_deterministic_and_in_range():
+    layout = HashedLayout(7, seed=3)
+    first = [layout.disk_index(b) for b in range(100)]
+    second = [HashedLayout(7, seed=3).disk_index(b) for b in range(100)]
+    assert first == second
+    assert all(0 <= d < 7 for d in first)
+
+
+def test_hashed_layout_spreads_blocks():
+    layout = HashedLayout(10)
+    counts = [0] * 10
+    for b in range(1000):
+        counts[layout.disk_index(b)] += 1
+    # Roughly uniform: no disk has more than double its fair share.
+    assert max(counts) < 200
+
+
+def test_hashed_layout_seed_changes_mapping():
+    a = [HashedLayout(10, seed=0).disk_index(b) for b in range(100)]
+    b = [HashedLayout(10, seed=1).disk_index(b) for b in range(100)]
+    assert a != b

@@ -1,0 +1,68 @@
+"""Tests for access-trace recording and persistence."""
+
+import pytest
+
+from repro.fs import Trace, TraceRecord
+
+from ..helpers import build_stack, user_read_many
+
+
+def test_record_roundtrip_json():
+    r = TraceRecord(time=1.5, node=3, block=42, outcome="miss", latency=30.2,
+                    ref_index=7)
+    assert TraceRecord.from_json(r.to_json()) == r
+
+
+def test_trace_validates_outcome():
+    trace = Trace()
+    with pytest.raises(ValueError):
+        trace.append(
+            TraceRecord(time=0, node=0, block=0, outcome="banana", latency=0)
+        )
+
+
+def test_trace_container_basics():
+    records = [
+        TraceRecord(time=float(i), node=i % 2, block=i, outcome="miss",
+                    latency=30.0)
+        for i in range(4)
+    ]
+    trace = Trace(records)
+    assert len(trace) == 4
+    assert trace[2].block == 2
+    assert trace.blocks() == [0, 1, 2, 3]
+    assert len(trace.by_node(0)) == 2
+    assert trace.outcome_counts() == {"ready": 0, "unready": 0, "miss": 4}
+
+
+def test_trace_time_sorted():
+    records = [
+        TraceRecord(time=5.0, node=0, block=1, outcome="miss", latency=1.0),
+        TraceRecord(time=1.0, node=1, block=2, outcome="ready", latency=1.0),
+    ]
+    out = Trace(records).time_sorted()
+    assert [r.block for r in out] == [2, 1]
+
+
+def test_trace_save_load(tmp_path):
+    records = [
+        TraceRecord(time=1.0, node=0, block=9, outcome="unready",
+                    latency=12.5, ref_index=3),
+        TraceRecord(time=2.0, node=1, block=10, outcome="ready", latency=0.9),
+    ]
+    path = tmp_path / "trace.jsonl"
+    Trace(records).save(path)
+    loaded = Trace.load(path)
+    assert loaded.records == records
+
+
+def test_cache_records_trace():
+    env, machine, file, cache, server, metrics = build_stack()
+    env.process(user_read_many(server, machine.nodes[0], [1, 1]))
+    env.run()
+    assert cache.trace is not None
+    counts = cache.trace.outcome_counts()
+    assert counts["miss"] == 1
+    assert counts["ready"] == 1
+    # Latencies recorded per access.
+    assert cache.trace[0].latency > cache.trace[1].latency

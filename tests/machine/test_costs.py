@@ -1,0 +1,45 @@
+"""Tests for the CostModel."""
+
+import pytest
+
+from repro.machine import CostModel
+
+
+def test_defaults_match_paper_disk_time():
+    costs = CostModel()
+    assert costs.disk_access_time == 30.0
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ValueError):
+        CostModel(disk_access_time=-1.0)
+
+
+def test_non_numeric_cost_rejected():
+    with pytest.raises(TypeError):
+        CostModel(block_copy_time="fast")  # type: ignore[arg-type]
+
+
+def test_with_overrides():
+    base = CostModel()
+    fast = base.with_overrides(disk_access_time=10.0)
+    assert fast.disk_access_time == 10.0
+    assert fast.block_copy_time == base.block_copy_time
+    assert base.disk_access_time == 30.0  # original untouched
+
+
+def test_frozen():
+    costs = CostModel()
+    with pytest.raises(AttributeError):
+        costs.disk_access_time = 5.0  # type: ignore[misc]
+
+
+def test_remote_ref_scales_with_contention():
+    costs = CostModel(remote_ref_time=0.2, contention_factor=0.1)
+    assert costs.remote_ref(0) == pytest.approx(0.2)
+    assert costs.remote_ref(10) == pytest.approx(0.2 * 2.0)
+
+
+def test_remote_ref_negative_rejected():
+    with pytest.raises(ValueError):
+        CostModel().remote_ref(-1)

@@ -1,0 +1,53 @@
+"""Tests for ASCII table/scatter rendering."""
+
+import pytest
+
+from repro.metrics import format_cell, render_scatter, render_table
+
+
+def test_format_cell():
+    assert format_cell(1.234) == "1.23"
+    assert format_cell(1234.5) == "1234"
+    assert format_cell(True) == "yes"
+    assert format_cell(False) == "no"
+    assert format_cell("x") == "x"
+    assert format_cell(float("nan")) == "-"
+    assert format_cell(7) == "7"
+
+
+def test_render_table_alignment():
+    out = render_table(
+        ["name", "value"],
+        [("a", 1.0), ("long-name", 123456.0)],
+        title="T",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    # All rows have equal width.
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1
+    assert "long-name" in out
+    assert "123456" in out
+
+
+def test_render_table_row_width_mismatch():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [(1,)])
+
+
+def test_render_scatter_empty():
+    assert render_scatter([]) == "(no points)"
+
+
+def test_render_scatter_contains_points_and_diagonal():
+    out = render_scatter(
+        [(10.0, 5.0), (20.0, 10.0)], width=30, height=10, diagonal=True
+    )
+    assert "*" in out
+    assert "." in out
+    assert "y=x" in out
+
+
+def test_render_scatter_degenerate_point():
+    out = render_scatter([(0.0, 0.0)], width=10, height=5)
+    assert "*" in out

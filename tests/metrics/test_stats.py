@@ -1,0 +1,60 @@
+"""Tests for statistics helpers."""
+
+import pytest
+
+from repro.metrics import (
+    cdf_points,
+    fraction_below,
+    median,
+    pearson_r,
+    percent_reduction,
+    summarize,
+)
+
+
+def test_percent_reduction():
+    assert percent_reduction(100.0, 50.0) == 50.0
+    assert percent_reduction(100.0, 120.0) == -20.0
+    assert percent_reduction(0.0, 10.0) == 0.0
+    assert percent_reduction(10.0, 10.0) == 0.0
+
+
+def test_cdf_points():
+    assert cdf_points([3.0, 1.0, 2.0]) == [
+        (1.0, pytest.approx(1 / 3)),
+        (2.0, pytest.approx(2 / 3)),
+        (3.0, 1.0),
+    ]
+    assert cdf_points([]) == []
+
+
+def test_fraction_below():
+    assert fraction_below([1, 2, 3, 4], 3) == 0.5
+    assert fraction_below([], 3) == 0.0
+    assert fraction_below([5, 6], 3) == 0.0
+
+
+def test_median():
+    assert median([1.0, 2.0, 100.0]) == 2.0
+    assert median([1.0, 2.0]) == 1.5
+    assert median([]) == 0.0
+
+
+def test_pearson_r_perfect():
+    assert pearson_r([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+    assert pearson_r([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+
+def test_pearson_r_degenerate():
+    assert pearson_r([1, 1, 1], [1, 2, 3]) == 0.0
+    assert pearson_r([1], [2]) == 0.0
+    with pytest.raises(ValueError):
+        pearson_r([1, 2], [1])
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s == {
+        "count": 3, "min": 1.0, "median": 2.0, "mean": 2.0, "max": 3.0,
+    }
+    assert summarize([])["count"] == 0

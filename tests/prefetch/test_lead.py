@@ -1,0 +1,33 @@
+"""Tests for minimum-prefetch-lead arithmetic."""
+
+import pytest
+
+from repro.prefetch import earliest_candidate_index, effective_lead
+
+
+def test_negative_lead_rejected():
+    with pytest.raises(ValueError):
+        effective_lead(-1, 0, 100)
+
+
+def test_zero_lead_is_frontier_plus_one():
+    assert earliest_candidate_index(0, 5, 100) == 6
+    assert earliest_candidate_index(0, -1, 100) == 0
+
+
+def test_lead_shifts_candidates():
+    assert earliest_candidate_index(20, 5, 100) == 26
+    assert effective_lead(20, 5, 100) == 20
+
+
+def test_lead_relaxed_near_end():
+    # 100 refs, frontier 90: only 9 remain; lead 20 is dropped.
+    assert effective_lead(20, 90, 100) == 0
+    assert earliest_candidate_index(20, 90, 100) == 91
+
+
+def test_lead_boundary_exact():
+    # remaining == lead: relaxed (restriction needs remaining > lead).
+    assert effective_lead(10, 89, 100) == 0
+    # remaining == lead + 1: enforced.
+    assert effective_lead(10, 88, 100) == 10

@@ -1,0 +1,42 @@
+"""Tests for the policy interface and registry."""
+
+import pytest
+
+from repro.prefetch import NullPolicy, make_policy, policy_names
+from repro.prefetch.policy import register_policy
+
+
+def test_null_policy_never_proposes():
+    policy = NullPolicy()
+    assert policy.peek(0) is None
+    assert policy.exhausted(0)
+    with pytest.raises(RuntimeError):
+        policy.commit(0, 0, 0)
+    with pytest.raises(RuntimeError):
+        policy.mark_covered(0, 0, 0)
+    with pytest.raises(RuntimeError):
+        policy.abort(0, 0, 0)
+
+
+def test_registry_contains_builtins():
+    names = policy_names()
+    for expected in ("null", "oracle", "obl", "portion", "global-seq"):
+        assert expected in names
+
+
+def test_make_policy_unknown_rejected():
+    with pytest.raises(ValueError, match="unknown policy"):
+        make_policy("clairvoyant")
+
+
+def test_make_policy_builds_null():
+    assert isinstance(make_policy("null"), NullPolicy)
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError):
+        register_policy("null")(NullPolicy)
+
+
+def test_observe_default_noop():
+    NullPolicy().observe(0, 5)  # must not raise

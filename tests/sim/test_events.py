@@ -1,0 +1,254 @@
+"""Tests for Event, Timeout, and condition events."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment
+
+
+def test_event_lifecycle():
+    env = Environment()
+    ev = env.event()
+    assert not ev.triggered
+    assert not ev.processed
+    ev.succeed(7)
+    assert ev.triggered
+    assert not ev.processed
+    env.run()
+    assert ev.processed
+    assert ev.ok
+    assert ev.value == 7
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+    with pytest.raises(RuntimeError):
+        _ = ev.ok
+
+
+def test_double_succeed_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.succeed()
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_failed_event_delivered_to_process():
+    env = Environment()
+    caught = []
+
+    def proc(ev):
+        try:
+            yield ev
+        except KeyError as exc:
+            caught.append(exc)
+
+    ev = env.event()
+    env.process(proc(ev))
+    ev.fail(KeyError("oops"))
+    env.run()
+    assert len(caught) == 1
+
+
+def test_undefused_failure_crashes():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("nobody caught me"))
+    with pytest.raises(RuntimeError, match="nobody caught me"):
+        env.run()
+
+
+def test_defused_failure_is_silent():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("defused"))
+    ev.defuse()
+    env.run()  # should not raise
+
+
+def test_trigger_copies_outcome():
+    env = Environment()
+    src = env.event()
+    dst = env.event()
+    src.succeed("payload")
+    dst.trigger(src)
+    env.run()
+    assert dst.value == "payload"
+    assert dst.ok
+
+
+def test_timeout_value():
+    env = Environment()
+    t = env.timeout(2.0, value="tick")
+    env.run()
+    assert t.value == "tick"
+
+
+def test_negative_timeout_raises():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_zero_timeout_fires_immediately():
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(0.0)
+        fired.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert fired == [0.0]
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    times = []
+
+    def proc():
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(5.0, value="b")
+        result = yield AllOf(env, [t1, t2])
+        times.append(env.now)
+        assert result[t1] == "a"
+        assert result[t2] == "b"
+
+    env.process(proc())
+    env.run()
+    assert times == [5.0]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    times = []
+
+    def proc():
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(5.0, value="slow")
+        result = yield AnyOf(env, [t1, t2])
+        times.append(env.now)
+        assert t1 in result
+        assert t2 not in result
+
+    env.process(proc())
+    env.run()
+    assert times == [1.0]
+
+
+def test_condition_operators():
+    env = Environment()
+    done = []
+
+    def proc():
+        t1 = env.timeout(1.0)
+        t2 = env.timeout(2.0)
+        yield t1 & t2
+        done.append(env.now)
+        t3 = env.timeout(1.0)
+        t4 = env.timeout(10.0)
+        yield t3 | t4
+        done.append(env.now)
+
+    env.process(proc())
+    env.run(until=50.0)
+    assert done == [2.0, 3.0]
+
+
+def test_empty_all_of_fires_immediately():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield AllOf(env, [])
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [0.0]
+
+
+def test_all_of_propagates_failure():
+    env = Environment()
+    caught = []
+
+    def proc():
+        good = env.timeout(1.0)
+        bad = env.event()
+        bad.fail(ValueError("member failed"))
+        try:
+            yield AllOf(env, [good, bad])
+        except ValueError as exc:
+            caught.append(exc)
+
+    env.process(proc())
+    env.run()
+    assert len(caught) == 1
+
+
+def test_nested_conditions_flatten_value():
+    env = Environment()
+    seen = {}
+
+    def proc():
+        t1 = env.timeout(1.0, value=1)
+        t2 = env.timeout(2.0, value=2)
+        t3 = env.timeout(3.0, value=3)
+        result = yield (t1 & t2) & t3
+        seen.update({"n": len(result), "vals": sorted(result.values())})
+
+    env.process(proc())
+    env.run()
+    assert seen == {"n": 3, "vals": [1, 2, 3]}
+
+
+def test_condition_value_mapping_interface():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, value="x")
+        result = yield AllOf(env, [t1])
+        assert list(result.keys()) == [t1]
+        assert list(result.values()) == ["x"]
+        assert dict(result.items()) == {t1: "x"}
+        assert result == {t1: "x"}
+        assert result.todict() == {t1: "x"}
+        with pytest.raises(KeyError):
+            _ = result[env.event()]
+
+    env.process(proc())
+    env.run()
+
+
+def test_condition_rejects_foreign_events():
+    env1 = Environment()
+    env2 = Environment()
+    with pytest.raises(ValueError):
+        AllOf(env1, [env2.event()])
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    env = Environment()
+    trace = []
+
+    def proc(ev):
+        yield env.timeout(5.0)
+        value = yield ev  # ev fired at t=0; must not block
+        trace.append((env.now, value))
+
+    ev = env.event()
+    ev.succeed("early")
+    env.process(proc(ev))
+    env.run()
+    assert trace == [(5.0, "early")]

@@ -1,0 +1,207 @@
+"""Tests for Process semantics and interrupts."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+def test_process_is_event_with_return_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        return 99
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 99
+    assert not p.is_alive
+
+
+def test_process_name_defaults_to_generator_name():
+    env = Environment()
+
+    def my_worker():
+        yield env.timeout(1.0)
+
+    p = env.process(my_worker())
+    assert "process" in p.name or "my_worker" in p.name
+    env.run()
+
+
+def test_process_explicit_name():
+    env = Environment()
+
+    def gen():
+        yield env.timeout(1.0)
+
+    p = env.process(gen(), name="disk-3")
+    assert p.name == "disk-3"
+    env.run()
+
+
+def test_non_generator_rejected():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="non-event"):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    causes = []
+
+    def victim():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as i:
+            causes.append((env.now, i.cause))
+
+    def attacker(v):
+        yield env.timeout(3.0)
+        v.interrupt("stop it")
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    env.run()
+    assert causes == [(3.0, "stop it")]
+
+
+def test_interrupt_detaches_but_event_still_fires():
+    env = Environment()
+    log = []
+
+    def victim(shared):
+        try:
+            yield shared
+        except Interrupt:
+            log.append("interrupted")
+        yield env.timeout(50.0)
+        log.append("resumed-done")
+
+    def other(shared):
+        value = yield shared
+        log.append(f"other-got-{value}")
+
+    shared = env.event()
+    v = env.process(victim(shared))
+    env.process(other(shared))
+
+    def driver():
+        yield env.timeout(1.0)
+        v.interrupt()
+        yield env.timeout(1.0)
+        shared.succeed("payload")
+
+    env.process(driver())
+    env.run()
+    assert "interrupted" in log
+    assert "other-got-payload" in log
+    assert "resumed-done" in log
+
+
+def test_interrupt_terminated_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(RuntimeError, match="terminated"):
+        p.interrupt()
+
+
+def test_self_interrupt_raises():
+    env = Environment()
+    errors = []
+
+    def proc():
+        me = env.active_process
+        try:
+            me.interrupt()
+        except RuntimeError as exc:
+            errors.append(exc)
+        yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run()
+    assert len(errors) == 1
+
+
+def test_uncaught_interrupt_fails_process():
+    env = Environment()
+
+    def victim():
+        yield env.timeout(100.0)
+
+    def catcher(v):
+        yield env.timeout(1.0)
+        v.interrupt("die")
+        try:
+            yield v
+        except Interrupt as i:
+            return f"victim died: {i.cause}"
+
+    v = env.process(victim())
+    c = env.process(catcher(v))
+    env.run()
+    assert c.value == "victim died: die"
+
+
+def test_waiting_on_failed_process_propagates():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise OSError("disk on fire")
+
+    def waiter(p):
+        try:
+            yield p
+        except OSError as exc:
+            return str(exc)
+
+    p = env.process(bad())
+    w = env.process(waiter(p))
+    env.run()
+    assert w.value == "disk on fire"
+
+
+def test_process_target_introspection():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(10.0)
+
+    p = env.process(proc())
+    env.run(until=5.0)
+    assert p.target is not None
+    assert p.is_alive
+
+
+def test_many_sequential_processes_deterministic():
+    def run_once():
+        env = Environment()
+        order = []
+
+        def worker(i):
+            yield env.timeout(float(i % 3))
+            order.append(i)
+
+        for i in range(50):
+            env.process(worker(i))
+        env.run()
+        return order
+
+    assert run_once() == run_once()

@@ -1,0 +1,409 @@
+"""Tests for Resource, PriorityResource, Container, and Store."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource, Store
+
+
+# ---------------------------------------------------------------- Resource
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_lock_mutual_exclusion():
+    env = Environment()
+    lock = Resource(env, capacity=1)
+    holding = []
+    max_holding = []
+
+    def user(i):
+        with lock.request() as req:
+            yield req
+            holding.append(i)
+            max_holding.append(len(holding))
+            yield env.timeout(5.0)
+            holding.remove(i)
+
+    for i in range(4):
+        env.process(user(i))
+    env.run()
+    assert max(max_holding) == 1
+    assert env.now == 20.0  # fully serialized
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    grant_order = []
+
+    def user(i):
+        yield env.timeout(float(i))  # stagger arrival
+        with res.request() as req:
+            yield req
+            grant_order.append(i)
+            yield env.timeout(10.0)
+
+    for i in range(3):
+        env.process(user(i))
+    env.run()
+    assert grant_order == [0, 1, 2]
+
+
+def test_resource_capacity_two_parallelism():
+    env = Environment()
+    res = Resource(env, capacity=2)
+
+    def user():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    for _ in range(4):
+        env.process(user())
+    env.run()
+    assert env.now == 20.0  # two waves of two
+
+
+def test_release_without_hold_raises():
+    env = Environment()
+    res = Resource(env)
+    req = res.request()
+    env.run()
+    res.release(req)
+    with pytest.raises(RuntimeError):
+        res.release(req)
+
+
+def test_resource_counts():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    observed = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(5.0)
+            observed.append((res.count, res.waiting))
+
+    def waiter():
+        yield env.timeout(1.0)
+        with res.request() as req:
+            yield req
+
+    env.process(holder())
+    env.process(waiter())
+    env.run()
+    assert observed == [(1, 1)]
+
+
+def test_resource_wait_statistics():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    env.process(user())
+    env.process(user())
+    env.run()
+    assert res.grants == 2
+    assert res.total_wait == pytest.approx(10.0)
+    assert res.busy_time == pytest.approx(20.0)
+
+
+def test_cancel_pending_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    granted = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def impatient():
+        yield env.timeout(1.0)
+        req = res.request()
+        yield env.timeout(2.0)
+        req.cancel()
+        granted.append("cancelled")
+
+    def patient():
+        yield env.timeout(2.0)
+        with res.request() as req:
+            yield req
+            granted.append("patient")
+
+    env.process(holder())
+    env.process(impatient())
+    env.process(patient())
+    env.run()
+    assert granted == ["cancelled", "patient"]
+
+
+# -------------------------------------------------------- PriorityResource
+
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        req = res.request(priority=0)
+        yield req
+        yield env.timeout(10.0)
+        res.release(req)
+
+    def user(prio, tag, arrive):
+        yield env.timeout(arrive)
+        req = res.request(priority=prio)
+        yield req
+        order.append(tag)
+        res.release(req)
+
+    env.process(holder())
+    env.process(user(5, "low", 1.0))
+    env.process(user(1, "high", 2.0))
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_priority_resource_fifo_within_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        req = res.request(priority=0)
+        yield req
+        yield env.timeout(10.0)
+        res.release(req)
+
+    def user(tag, arrive):
+        yield env.timeout(arrive)
+        req = res.request(priority=3)
+        yield req
+        order.append(tag)
+        res.release(req)
+
+    env.process(holder())
+    env.process(user("first", 1.0))
+    env.process(user("second", 2.0))
+    env.run()
+    assert order == ["first", "second"]
+
+
+def test_priority_resource_cancel():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        req = res.request(priority=0)
+        yield req
+        yield env.timeout(10.0)
+        res.release(req)
+
+    def quitter():
+        yield env.timeout(1.0)
+        req = res.request(priority=1)
+        yield env.timeout(1.0)
+        req.cancel()
+
+    def stayer():
+        yield env.timeout(2.0)
+        req = res.request(priority=2)
+        yield req
+        order.append("stayer")
+        res.release(req)
+
+    env.process(holder())
+    env.process(quitter())
+    env.process(stayer())
+    env.run()
+    assert order == ["stayer"]
+
+
+# --------------------------------------------------------------- Container
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=10)
+    c = Container(env, capacity=10, init=3)
+    with pytest.raises(ValueError):
+        c.put(0)
+    with pytest.raises(ValueError):
+        c.get(-1)
+
+
+def test_container_get_blocks_until_put():
+    env = Environment()
+    c = Container(env, init=0)
+    got = []
+
+    def consumer():
+        amount = yield c.get(5)
+        got.append((env.now, amount))
+
+    def producer():
+        yield env.timeout(3.0)
+        yield c.put(5)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(3.0, 5)]
+    assert c.level == 0
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    c = Container(env, capacity=10, init=8)
+    done = []
+
+    def producer():
+        yield c.put(5)
+        done.append(env.now)
+
+    def consumer():
+        yield env.timeout(4.0)
+        yield c.get(4)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert done == [4.0]
+    assert c.level == 9
+
+
+# ------------------------------------------------------------------- Store
+
+
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for item in ("a", "b", "c"):
+            yield store.put(item)
+            yield env.timeout(1.0)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_store_get_blocks_when_empty():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(7.0)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(7.0, "late")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put(1)
+        times.append(env.now)
+        yield store.put(2)
+        times.append(env.now)
+
+    def consumer():
+        yield env.timeout(5.0)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [0.0, 5.0]
+
+
+def test_store_filtered_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        yield store.put({"kind": "demand", "block": 1})
+        yield store.put({"kind": "prefetch", "block": 2})
+
+    def consumer():
+        item = yield store.get(filter=lambda x: x["kind"] == "prefetch")
+        got.append(item["block"])
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [2]
+    assert store.items == [{"kind": "demand", "block": 1}]
+
+
+def test_store_filtered_getter_does_not_starve_later_getters():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def blocked_consumer():
+        item = yield store.get(filter=lambda x: x == "never")
+        got.append(item)
+
+    def normal_consumer():
+        yield env.timeout(1.0)
+        item = yield store.get()
+        got.append(item)
+
+    def producer():
+        yield env.timeout(2.0)
+        yield store.put("plain")
+
+    env.process(blocked_consumer())
+    env.process(normal_consumer())
+    env.process(producer())
+    env.run()
+    assert got == ["plain"]
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+
+    def producer():
+        yield store.put("x")
+        yield store.put("y")
+
+    env.process(producer())
+    env.run()
+    assert len(store) == 2

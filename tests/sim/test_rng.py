@@ -1,0 +1,89 @@
+"""Tests for deterministic named RNG streams."""
+
+import pytest
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(42)
+    b = RandomStreams(42)
+    assert [a.exponential("x", 10.0) for _ in range(5)] == [
+        b.exponential("x", 10.0) for _ in range(5)
+    ]
+
+
+def test_different_names_are_independent():
+    rs = RandomStreams(42)
+    xs = [rs.exponential("compute", 10.0) for _ in range(5)]
+    rs2 = RandomStreams(42)
+    # Draw from another stream first; "compute" must be unaffected.
+    rs2.exponential("other", 10.0)
+    ys = [rs2.exponential("compute", 10.0) for _ in range(5)]
+    assert xs == ys
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1)
+    b = RandomStreams(2)
+    assert a.exponential("x", 10.0) != b.exponential("x", 10.0)
+
+
+def test_exponential_zero_mean_is_zero():
+    rs = RandomStreams(0)
+    assert rs.exponential("x", 0.0) == 0.0
+
+
+def test_exponential_negative_mean_raises():
+    rs = RandomStreams(0)
+    with pytest.raises(ValueError):
+        rs.exponential("x", -1.0)
+
+
+def test_exponential_mean_approximation():
+    rs = RandomStreams(7)
+    n = 20000
+    total = sum(rs.exponential("m", 30.0) for _ in range(n))
+    assert total / n == pytest.approx(30.0, rel=0.05)
+
+
+def test_uniform_int_bounds():
+    rs = RandomStreams(3)
+    draws = [rs.uniform_int("u", 2, 5) for _ in range(200)]
+    assert min(draws) >= 2
+    assert max(draws) <= 5
+    assert set(draws) == {2, 3, 4, 5}
+
+
+def test_uniform_int_empty_range_raises():
+    rs = RandomStreams(3)
+    with pytest.raises(ValueError):
+        rs.uniform_int("u", 5, 2)
+
+
+def test_uniform_float_bounds():
+    rs = RandomStreams(3)
+    draws = [rs.uniform("f", 1.0, 2.0) for _ in range(100)]
+    assert all(1.0 <= d < 2.0 for d in draws)
+
+
+def test_shuffle_is_permutation_and_deterministic():
+    rs1 = RandomStreams(9)
+    rs2 = RandomStreams(9)
+    items = list(range(20))
+    s1 = rs1.shuffle("s", items)
+    s2 = rs2.shuffle("s", items)
+    assert s1 == s2
+    assert sorted(s1) == items
+    assert items == list(range(20))  # input untouched
+
+
+def test_spawn_children_independent():
+    parent = RandomStreams(11)
+    c1 = parent.spawn("node-0")
+    c2 = parent.spawn("node-1")
+    assert c1.exponential("x", 5.0) != c2.exponential("x", 5.0)
+    # Spawning is deterministic too.
+    parent2 = RandomStreams(11)
+    c1b = parent2.spawn("node-0")
+    assert c1.seed == c1b.seed

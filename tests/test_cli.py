@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURE_IDS, build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_figure_ids_cover_design_index():
+    for fig in ("fig1", "fig3", "fig8", "fig12", "fig16", "vd",
+                "vf-buffers", "vf-patterns", "ext-predictors",
+                "ext-scalability"):
+        assert fig in FIGURE_IDS
+
+
+def test_run_command(capsys):
+    rc = main([
+        "run", "--pattern", "gw", "--sync", "none", "--compute", "0",
+        "--seed", "2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "total time (ms)" in out
+    assert "no-prefetch" in out
+    assert "hit ratio" in out
+
+
+def test_run_command_rejects_bad_pattern():
+    with pytest.raises(SystemExit):
+        main(["run", "--pattern", "zigzag"])
+
+
+def test_analyze_command(tmp_path, capsys):
+    # Produce a trace with a tiny run, save it, analyze it.
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    r = run_experiment(
+        ExperimentConfig(
+            pattern="gw", n_nodes=4, n_disks=4, file_blocks=40,
+            total_reads=40, compute_mean=0.0, record_trace=True,
+            prefetch=False,
+        )
+    )
+    path = tmp_path / "t.jsonl"
+    r.trace.save(path)
+    rc = main(["analyze", str(path), "--cache-sizes", "10", "40"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "40 accesses" in out
+    assert "LRU hit ratio" in out
+    assert "sequentiality" in out
+
+
+def test_figure_command_unknown_id():
+    with pytest.raises(SystemExit):
+        main(["figure", "fig99"])
+
+
+def test_figure_scatter_flag_parses():
+    parser = build_parser()
+    args = parser.parse_args(["figure", "fig3", "--scatter"])
+    assert args.scatter
+    args = parser.parse_args(["figure", "fig3"])
+    assert not args.scatter
+
+
+def test_figure_command_standalone(capsys):
+    """Run a cheap standalone figure end to end through the CLI."""
+    rc = main(["figure", "ext-scalability", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert "Scalability" in out
+    assert "check prefetch_wins_at_every_scale: PASS" in out
+    assert rc == 0
+
+
+def test_sweep_command(capsys):
+    rc = main([
+        "sweep", "lead", "0", "10",
+        "--pattern", "gw", "--sync", "per-proc", "--seed", "2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sweep lead" in out
+    assert "total red %" in out
+
+
+def test_sweep_command_value_casting():
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "policy", "oracle", "obl"])
+    assert args.values == ["oracle", "obl"]
+
+
+def test_report_command(tmp_path, capsys, monkeypatch):
+    """Report command plumbing (figures stubbed to keep the test fast)."""
+    from repro.experiments import report_gen
+    from repro.experiments.figures import FigureData
+
+    monkeypatch.setattr(
+        report_gen,
+        "collect_all_figures",
+        lambda seed, progress=None: [
+            FigureData("figX", "T", ["a"], [(1,)], checks={"ok": True})
+        ],
+    )
+    out_path = tmp_path / "R.md"
+    rc = main(["report", "-o", str(out_path)])
+    assert rc == 0
+    assert "1/1 checks pass" in capsys.readouterr().out
+    assert out_path.exists()

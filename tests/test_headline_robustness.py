@@ -1,0 +1,67 @@
+"""Seed-robustness of the paper's headline claims (reduced scale).
+
+The benchmarks assert the claims once at the paper's sizing; these tests
+re-assert the load-bearing ones across several seeds at ~1/4 scale, so a
+lucky seed cannot carry the reproduction.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_pair
+
+SCALE = dict(n_nodes=8, n_disks=8, file_blocks=800, total_reads=800)
+SEEDS = (11, 22, 33, 44, 55)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_gw_prefetching_always_wins(seed):
+    pf, base = run_pair(
+        ExperimentConfig(
+            pattern="gw", sync_style="per-proc", seed=seed, **SCALE
+        )
+    )
+    assert pf.total_time < base.total_time
+    assert pf.avg_read_time < base.avg_read_time
+    assert pf.hit_ratio > 0.8
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lw_prefetching_always_wins(seed):
+    """lw wins at every seed.  (At 8 nodes the margin is structurally
+    smaller than the paper's 20-node ~50-70%: with fewer sharers the
+    baseline already hits 7 of 8 accesses, so we assert a consistent
+    ~>8% total-time win plus a strong read-time win.)"""
+    pf, base = run_pair(
+        ExperimentConfig(
+            pattern="lw", sync_style="per-proc", compute_mean=10.0,
+            seed=seed, **SCALE
+        )
+    )
+    total_reduction = (base.total_time - pf.total_time) / base.total_time
+    read_reduction = (
+        base.avg_read_time - pf.avg_read_time
+    ) / base.avg_read_time
+    assert total_reduction > 0.08
+    assert read_reduction > 0.25
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_disk_response_worsens_under_prefetch(seed):
+    pf, base = run_pair(
+        ExperimentConfig(
+            pattern="gw", sync_style="none", compute_mean=0.0,
+            seed=seed, **SCALE
+        )
+    )
+    assert pf.disk_response_mean >= base.disk_response_mean
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_hit_ratio_gap_between_prefetch_and_baseline(seed):
+    pf, base = run_pair(
+        ExperimentConfig(
+            pattern="gfp", sync_style="total", total_k=80, seed=seed,
+            **SCALE
+        )
+    )
+    assert pf.hit_ratio > base.hit_ratio + 0.5

@@ -1,0 +1,46 @@
+"""Tests for the standard workload suite definition."""
+
+from repro.workload import (
+    WorkloadSpec,
+    balanced_compute_mean,
+    standard_suite,
+)
+
+
+def test_suite_size_matches_paper_mix():
+    # 6 patterns x 4 syncs x 2 intensities minus 2 excluded lw/portion cells.
+    suite = standard_suite()
+    assert len(suite) == 46
+
+
+def test_lw_portion_excluded():
+    assert not any(
+        s.pattern == "lw" and s.sync_style == "portion"
+        for s in standard_suite()
+    )
+
+
+def test_intensity_labels():
+    assert WorkloadSpec("gw", "none", 0.0).intensity == "io-bound"
+    assert WorkloadSpec("gw", "none", 30.0).intensity == "balanced"
+
+
+def test_balanced_compute_means():
+    assert balanced_compute_mean("lw") == 10.0
+    for p in ("lfp", "lrp", "gfp", "grp", "gw"):
+        assert balanced_compute_mean(p) == 30.0
+
+
+def test_suite_covers_all_cells():
+    suite = standard_suite()
+    patterns = {s.pattern for s in suite}
+    syncs = {s.sync_style for s in suite}
+    intensities = {s.intensity for s in suite}
+    assert patterns == {"lfp", "lrp", "lw", "gfp", "grp", "gw"}
+    assert syncs == {"none", "per-proc", "total", "portion"}
+    assert intensities == {"balanced", "io-bound"}
+
+
+def test_labels_unique():
+    labels = [s.label for s in standard_suite()]
+    assert len(labels) == len(set(labels))
