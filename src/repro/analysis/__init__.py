@@ -1,0 +1,53 @@
+"""Determinism guardrails: static analysis, runtime auditing, invariants.
+
+Three pillars:
+
+* :mod:`repro.analysis.simlint` — an AST linter enforcing the determinism
+  contract (blessed RNG paths, no wall-clock, no unordered iteration in
+  sim-critical code, no ``-O``-erasable asserts).  Run as
+  ``python -m repro.analysis.simlint src/``.
+* :mod:`repro.analysis.audit` — a runtime auditor: event-trace hashing on
+  ``Environment.step`` (``run_twice_and_diff`` proves seed-stability),
+  a simultaneous-event race detector, and periodic invariant sweeps.
+* :mod:`repro.analysis.invariants` — :class:`InvariantViolation` and
+  :func:`invariant`, the promoted invariant layer that survives
+  ``python -O``.
+
+``audit`` pulls in the experiment runner (which imports ``fs``/``machine``
+— themselves clients of :func:`invariant`), so it is exposed lazily to
+keep this package importable from anywhere in the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .invariants import InvariantViolation, invariant
+
+__all__ = [
+    "InvariantViolation",
+    "invariant",
+    "AuditReport",
+    "Auditor",
+    "DeterminismReport",
+    "run_twice_and_diff",
+    "run_with_audit",
+]
+
+_AUDIT_EXPORTS = frozenset(
+    {
+        "AuditReport",
+        "Auditor",
+        "DeterminismReport",
+        "run_twice_and_diff",
+        "run_with_audit",
+    }
+)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _AUDIT_EXPORTS:
+        from . import audit
+
+        return getattr(audit, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,47 @@
+"""Runtime invariants that survive ``python -O``.
+
+Bare ``assert`` statements are compiled away under ``-O``, which silently
+disables exactly the structural checks a simulation depends on for
+correctness (cache accounting, budget conservation, event bookkeeping).
+This module provides the promoted invariant layer: :func:`invariant` raises
+:class:`InvariantViolation` — a real exception that optimization cannot
+erase — and the simlint ``assert`` rule steers all runtime invariants in
+``src/`` through it.
+
+:class:`InvariantViolation` subclasses :class:`AssertionError` so callers
+(and tests) that catch the broad class keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["InvariantViolation", "invariant"]
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant of the simulation was broken.
+
+    Raised by :func:`invariant` and by the ``check_invariants`` methods of
+    the cache, buffer pool, and disks.  Unlike a bare ``assert``, this
+    survives ``python -O`` and carries the offending values.
+    """
+
+
+def invariant(condition: bool, message: str, *details: Any) -> None:
+    """Raise :class:`InvariantViolation` unless ``condition`` holds.
+
+    Parameters
+    ----------
+    condition:
+        The invariant; must be truthy.
+    message:
+        Human-readable statement of what was violated.
+    details:
+        Offending values, appended to the message ``repr``-formatted.
+    """
+    if not condition:
+        if details:
+            rendered = ", ".join(repr(d) for d in details)
+            raise InvariantViolation(f"{message} [{rendered}]")
+        raise InvariantViolation(message)

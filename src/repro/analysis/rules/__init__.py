@@ -1,0 +1,34 @@
+"""simlint rule catalogue.
+
+Each rule is an instance of :class:`~repro.analysis.rules.base.Rule`;
+``ALL_RULES`` is the ordered registry the driver runs.  See
+``docs/analysis.md`` for the determinism contract each rule enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .asserts import BareAssertRule
+from .base import Diagnostic, FileContext, Rule
+from .ordering import UnorderedIterationRule
+from .rng import UnblessedRngRule
+from .wallclock import WallClockRule
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "FileContext",
+    "Rule",
+    "BareAssertRule",
+    "UnblessedRngRule",
+    "UnorderedIterationRule",
+    "WallClockRule",
+]
+
+ALL_RULES: Tuple[Rule, ...] = (
+    UnblessedRngRule(),
+    WallClockRule(),
+    UnorderedIterationRule(),
+    BareAssertRule(),
+)

@@ -1,0 +1,42 @@
+"""Rule ``assert``: runtime invariants must survive ``python -O``.
+
+A bare ``assert`` in library code is erased when Python runs with ``-O``,
+so the structural checks the simulator's correctness rests on (cache
+accounting, budget conservation, event bookkeeping) silently vanish.
+Library code must raise :class:`repro.analysis.InvariantViolation` (via
+:func:`repro.analysis.invariant`) or an appropriate error instead.
+
+Test files are exempt (``assert`` is pytest's assertion idiom); a
+deliberate debug-only assert can be kept with ``# simlint: allow-assert``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import Diagnostic, FileContext, Rule
+
+__all__ = ["BareAssertRule"]
+
+
+class BareAssertRule(Rule):
+    name = "assert"
+    description = (
+        "bare assert in library code (erased under python -O) — use "
+        "repro.analysis.invariant() / InvariantViolation"
+    )
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[Diagnostic]:
+        if ctx.in_tests:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assert):
+                yield self.diag(
+                    ctx,
+                    node,
+                    "bare assert is erased under python -O — raise "
+                    "InvariantViolation (repro.analysis.invariant) instead",
+                )

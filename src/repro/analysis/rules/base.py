@@ -1,0 +1,147 @@
+"""Shared machinery for simlint rules.
+
+A rule inspects one parsed module and yields :class:`Diagnostic` records.
+The :class:`FileContext` gives rules everything position-dependent: the
+file's path, its location inside the scanned tree (which package family it
+belongs to), and the per-line suppression directives parsed from
+``# simlint:`` comments.
+
+Suppression syntax
+------------------
+``# simlint: allow-<rule>`` on the offending line suppresses that rule
+there; several directives may be comma-separated
+(``# simlint: allow-rng, allow-wallclock``).  ``# simlint: skip-file``
+within the first ten lines exempts the whole module.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence, Set, Tuple
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "Rule",
+    "SIM_CRITICAL_PARTS",
+    "dotted_name",
+]
+
+#: Directory names whose contents drive simulation ordering and therefore
+#: fall under the strictest determinism rules.
+SIM_CRITICAL_PARTS = frozenset(
+    {"sim", "fs", "machine", "prefetch", "workload"}
+)
+
+_DIRECTIVE_RE = re.compile(r"#\s*simlint:\s*([a-z\-,\s]+)")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: ``path:line:col: simlint[rule] message``."""
+
+    path: Path
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"simlint[{self.rule}] {self.message}"
+        )
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about the module under inspection."""
+
+    path: Path
+    #: Path components relative to the scan root (lowercased).
+    parts: Tuple[str, ...]
+    source: str
+    suppressions: dict[int, Set[str]] = field(default_factory=dict)
+    skip_file: bool = False
+
+    @classmethod
+    def build(cls, path: Path, parts: Sequence[str], source: str) -> "FileContext":
+        ctx = cls(path=path, parts=tuple(p.lower() for p in parts), source=source)
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _DIRECTIVE_RE.search(line)
+            if match is None:
+                continue
+            directives = {
+                d.strip() for d in match.group(1).split(",") if d.strip()
+            }
+            if "skip-file" in directives and lineno <= 10:
+                ctx.skip_file = True
+            allowed = {
+                d[len("allow-"):]
+                for d in directives
+                if d.startswith("allow-")
+            }
+            if allowed:
+                ctx.suppressions.setdefault(lineno, set()).update(allowed)
+        return ctx
+
+    # -- path classification -------------------------------------------------
+
+    @property
+    def in_tests(self) -> bool:
+        return "tests" in self.parts
+
+    @property
+    def in_sim_critical(self) -> bool:
+        """Inside a package whose code feeds event-queue ordering."""
+        return any(part in SIM_CRITICAL_PARTS for part in self.parts[:-1])
+
+    def matches(self, *suffix: str) -> bool:
+        """Does the relative path end with the given components?"""
+        n = len(suffix)
+        return self.parts[-n:] == tuple(s.lower() for s in suffix)
+
+    # -- suppression ---------------------------------------------------------
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        return rule in self.suppressions.get(line, ())
+
+
+class Rule:
+    """Base class: subclasses set ``name`` and implement :meth:`check`."""
+
+    #: Short identifier, used in diagnostics and ``allow-<name>`` comments.
+    name: str = ""
+    #: One-line description for ``--list-rules`` and the docs.
+    description: str = ""
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute chains; ``None`` for anything else."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None

@@ -1,0 +1,144 @@
+"""Rule ``unordered``: no iteration over unordered collections in
+simulation-critical packages.
+
+Iterating a ``set`` (or ``dict.keys()`` used as a detour through a set-like
+view) yields elements in an order that depends on insertion history and —
+for strings — on ``PYTHONHASHSEED``.  When such an iteration schedules
+events, acquires resources, or builds the containers later consumed by
+``Environment.schedule``, the ``(time, priority, sequence)`` tie-break
+absorbs that order and the run is no longer reproducible across
+interpreter invocations.
+
+The rule applies inside the sim-critical packages (``sim/``, ``fs/``,
+``machine/``, ``prefetch/``, ``workload/``) and flags ``for`` loops and
+comprehensions whose iterable is
+
+* a ``set`` literal or set comprehension,
+* a ``set(...)`` / ``frozenset(...)`` call,
+* a ``.keys()`` call (iterate the dict itself — insertion-ordered — or
+  wrap in ``sorted(...)``),
+* a local name bound to one of the above in the same function, or
+* a ``list(...)``/``tuple(...)`` materialization of any of the above.
+
+Wrap the iterable in ``sorted(...)`` to make the order explicit, or
+suppress a deliberate order-insensitive use with
+``# simlint: allow-unordered``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from .base import Diagnostic, FileContext, Rule
+
+__all__ = ["UnorderedIterationRule"]
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> str | None:
+    """Describe why ``node`` is unordered, or ``None`` if it is not."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set literal"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...) call"
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            return ".keys() view"
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return f"local set {node.id!r}"
+    return None
+
+
+class _ScopeVisitor(ast.NodeVisitor):
+    """Collect findings per function scope with simple local inference."""
+
+    def __init__(self, rule: "UnorderedIterationRule", ctx: FileContext):
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: list[Diagnostic] = []
+        self._set_names: Set[str] = set()
+
+    # -- scope handling ------------------------------------------------------
+
+    def _enter_scope(self, node: ast.AST) -> None:
+        outer, self._set_names = self._set_names, set()
+        self.generic_visit(node)
+        self._set_names = outer
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._enter_scope(node)
+
+    # -- local inference -----------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = _is_set_expr(node.value, set()) is not None
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_set:
+                    self._set_names.add(target.id)
+                else:
+                    self._set_names.discard(target.id)
+        self.generic_visit(node)
+
+    # -- iteration sites -----------------------------------------------------
+
+    def _check_iterable(self, node: ast.AST, where: str) -> None:
+        reason = _is_set_expr(node, self._set_names)
+        if reason is not None:
+            self.findings.append(
+                self.rule.diag(
+                    self.ctx,
+                    node,
+                    f"{where} over {reason}: unordered iteration can leak "
+                    "into Environment.schedule ordering — iterate a list "
+                    "or wrap in sorted(...)",
+                )
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for gen in getattr(node, "generators", []):
+            self._check_iterable(gen.iter, "comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("list", "tuple")
+            and len(node.args) == 1
+        ):
+            self._check_iterable(node.args[0], f"{func.id}(...)")
+        self.generic_visit(node)
+
+
+class UnorderedIterationRule(Rule):
+    name = "unordered"
+    description = (
+        "iteration over bare set/dict.keys() in sim-critical packages "
+        "(order can feed Environment.schedule)"
+    )
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[Diagnostic]:
+        if not ctx.in_sim_critical:
+            return
+        visitor = _ScopeVisitor(self, ctx)
+        visitor.visit(tree)
+        yield from visitor.findings

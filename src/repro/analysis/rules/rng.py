@@ -1,0 +1,93 @@
+"""Rule ``rng``: all randomness must flow through the blessed streams.
+
+The paper's paired prefetch-on/off comparisons are only valid when every
+stochastic draw comes from a named, seed-derived stream
+(:class:`repro.sim.rng.RandomStreams`) or the jittered disk model's
+dedicated generator.  Any other generator — the stdlib ``random`` module,
+``np.random.default_rng()``, ad-hoc ``SeedSequence``/``Generator``
+construction, or the legacy ``np.random.*`` global state — introduces
+draws that are unseeded, order-dependent, or shared across components,
+silently breaking bit-for-bit reproducibility.
+
+Blessed modules (exempt): ``sim/rng.py`` and ``machine/disk.py``.
+Suppress a single line with ``# simlint: allow-rng``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import Diagnostic, FileContext, Rule, dotted_name
+
+__all__ = ["UnblessedRngRule"]
+
+#: Dotted prefixes that mean "a generator is being constructed or the
+#: global numpy/stdlib RNG state is being touched".
+_FORBIDDEN_PREFIXES = ("random.", "np.random.", "numpy.random.")
+
+#: Bare names (possibly imported directly) that construct generators.
+_FORBIDDEN_CALLS = frozenset({"default_rng", "SeedSequence", "PCG64"})
+
+#: Blessed module suffixes, relative to the scan root.
+_BLESSED = (("sim", "rng.py"), ("machine", "disk.py"))
+
+
+class UnblessedRngRule(Rule):
+    name = "rng"
+    description = (
+        "randomness outside the blessed RandomStreams / JitteredDiskModel "
+        "paths (stdlib random, np.random.*, SeedSequence/default_rng)"
+    )
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[Diagnostic]:
+        if any(ctx.matches(*suffix) for suffix in _BLESSED):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "random" or alias.name.startswith(
+                        "numpy.random"
+                    ):
+                        yield self.diag(
+                            ctx,
+                            node,
+                            f"import of {alias.name!r}: use "
+                            "repro.sim.rng.RandomStreams named streams",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "random" or module.startswith("numpy.random"):
+                    names = ", ".join(a.name for a in node.names)
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"from {module} import {names}: use "
+                        "repro.sim.rng.RandomStreams named streams",
+                    )
+            elif isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                if dotted is None:
+                    continue
+                if any(dotted.startswith(p) for p in _FORBIDDEN_PREFIXES):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"{dotted}: unblessed RNG access — derive draws "
+                        "from a RandomStreams named stream",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _FORBIDDEN_CALLS
+                ):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"{func.id}(): generator construction outside "
+                        "sim/rng.py — use a RandomStreams named stream",
+                    )

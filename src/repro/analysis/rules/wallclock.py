@@ -1,0 +1,90 @@
+"""Rule ``wallclock``: simulation code must not read the host clock.
+
+Simulated time is ``Environment.now``; wall-clock reads (``time.time``,
+``time.perf_counter``, ``datetime.now``, …) leak host-machine state into a
+run, making results vary between hosts and executions.  The rule covers the
+whole tree; measurement or reporting code that legitimately wants a
+timestamp (e.g. run duration in a report header) opts in per line with
+``# simlint: allow-wallclock``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import Diagnostic, FileContext, Rule, dotted_name
+
+__all__ = ["WallClockRule"]
+
+#: Dotted suffixes that read the host clock.
+_FORBIDDEN = (
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: Names that, imported from ``time``, read the host clock when called.
+_FORBIDDEN_TIME_IMPORTS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+
+def _is_forbidden(dotted: str) -> bool:
+    return any(
+        dotted == pat or dotted.endswith("." + pat) for pat in _FORBIDDEN
+    )
+
+
+class WallClockRule(Rule):
+    name = "wallclock"
+    description = (
+        "host wall-clock reads (time.time/perf_counter/datetime.now); "
+        "simulation code must use Environment.now"
+    )
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if (node.module or "") == "time":
+                    bad = [
+                        a.name
+                        for a in node.names
+                        if a.name in _FORBIDDEN_TIME_IMPORTS
+                    ]
+                    if bad:
+                        yield self.diag(
+                            ctx,
+                            node,
+                            f"from time import {', '.join(bad)}: wall-clock "
+                            "reads are nondeterministic — use env.now",
+                        )
+            elif isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                if dotted is not None and _is_forbidden(dotted):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"{dotted}: wall-clock read — simulation time is "
+                        "Environment.now",
+                    )

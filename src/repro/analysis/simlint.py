@@ -1,0 +1,168 @@
+"""simlint: AST-based determinism linter for the simulation tree.
+
+Usage::
+
+    python -m repro.analysis.simlint src/            # lint a tree
+    python -m repro.analysis.simlint --list-rules    # show the catalogue
+
+Exit status is 0 when the tree is clean, 1 when diagnostics were emitted,
+2 on usage errors.  Diagnostics are ``path:line:col: simlint[rule]
+message`` so editors and CI annotate them directly.
+
+The rules (see :mod:`repro.analysis.rules` and ``docs/analysis.md``):
+
+* ``rng`` — randomness only through the blessed named-stream paths;
+* ``wallclock`` — no host-clock reads, simulation time is ``env.now``;
+* ``unordered`` — no iteration over bare sets / ``dict.keys()`` in
+  sim-critical packages;
+* ``assert`` — runtime invariants must survive ``python -O``.
+
+Per-line suppression: ``# simlint: allow-<rule>``; whole-file opt-out:
+``# simlint: skip-file`` near the top of the module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .rules import ALL_RULES, Diagnostic, FileContext, Rule
+
+__all__ = ["collect_files", "lint_file", "lint_paths", "main"]
+
+#: Directories never worth scanning.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".mypy_cache", ".ruff_cache", "build", "dist"}
+)
+
+
+def collect_files(paths: Sequence[Path]) -> List[Tuple[Path, Path]]:
+    """Expand ``paths`` into ``(file, scan_root)`` pairs, sorted.
+
+    The scan root anchors relative-path classification (which package a
+    module belongs to), so rules behave identically whether the tree is
+    linted as ``src/`` or ``src/repro/``.
+    """
+    out: List[Tuple[Path, Path]] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                out.append((path, path.parent))
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for child in sorted(path.rglob("*.py")):
+            parts = set(child.parts)
+            if parts & _SKIP_DIRS or any(
+                p.endswith(".egg-info") for p in child.parts
+            ):
+                continue
+            out.append((child, path))
+    return out
+
+
+def lint_file(
+    path: Path,
+    root: Path,
+    rules: Iterable[Rule] = ALL_RULES,
+) -> List[Diagnostic]:
+    """Run every rule over one module, honouring suppressions."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule="parse",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    try:
+        rel_parts: Tuple[str, ...] = path.relative_to(root).parts
+    except ValueError:
+        rel_parts = path.parts
+    ctx = FileContext.build(path, rel_parts, source)
+    if ctx.skip_file:
+        return []
+    findings: List[Diagnostic] = []
+    for rule in rules:
+        for diag in rule.check(tree, ctx):
+            if not ctx.suppressed(diag.rule, diag.line):
+                findings.append(diag)
+    findings.sort(key=lambda d: (d.line, d.col, d.rule))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[Path], rules: Iterable[Rule] = ALL_RULES
+) -> List[Diagnostic]:
+    """Lint files and directories; returns every diagnostic found."""
+    findings: List[Diagnostic] = []
+    for path, root in collect_files(paths):
+        findings.extend(lint_file(path, root, rules))
+    return findings
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.simlint",
+        description="determinism linter for the RAPID Transit tree",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only the named rule(s); may repeat",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name:12s} {rule.description}")
+        return 0
+    if not args.paths:
+        print("error: no paths given (try: src/)", file=sys.stderr)
+        return 2
+    rules: Iterable[Rule] = ALL_RULES
+    if args.select:
+        known = {rule.name: rule for rule in ALL_RULES}
+        unknown = sorted(set(args.select) - set(known))
+        if unknown:
+            print(f"error: unknown rule(s) {unknown}", file=sys.stderr)
+            return 2
+        rules = tuple(known[name] for name in args.select)
+    try:
+        findings = lint_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for diag in findings:
+        print(diag.render())
+    if findings:
+        print(
+            f"simlint: {len(findings)} finding(s) in "
+            f"{len({d.path for d in findings})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -11,7 +11,14 @@ Subcommands:
 * ``sweep``   — sweep any ExperimentConfig parameter with paired runs;
 * ``report``  — regenerate *every* figure into a markdown report;
 * ``analyze`` — offline analysis of a saved trace (JSON lines): what-if
-  hit ratios, sequentiality, and Fig. 2 taxonomy classification.
+  hit ratios, sequentiality, and Fig. 2 taxonomy classification;
+* ``audit``   — determinism audit: run one configuration twice (prefetch
+  on and off), compare event-trace hashes, and report same-instant
+  resource collisions and invariant sweeps (see docs/analysis.md).
+
+``run --audit`` additionally runs the paired comparison under the runtime
+auditor: event-trace hashing, the simultaneous-event race detector, and
+periodic cache/disk invariant sweeps.
 """
 
 from __future__ import annotations
@@ -121,6 +128,15 @@ def _print_figure(fig: FigureData, scatter: bool = False) -> None:
         print(f"check {name}: {'PASS' if ok else 'FAIL'}")
 
 
+def _print_audit(report) -> None:
+    print(
+        f"audit [{report.label}]: {report.n_events} events, "
+        f"trace digest {report.trace_digest}, "
+        f"{report.n_collisions} same-instant resource collisions, "
+        f"{report.invariant_sweeps} invariant sweeps (all passed)"
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
         pattern=args.pattern,
@@ -130,8 +146,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         policy=args.policy,
         lead=args.lead,
     )
-    pf = run_experiment(config)
-    base = run_experiment(config.paired_baseline())
+    audits = []
+    if args.audit:
+        from .analysis.audit import run_with_audit
+
+        pf_report = run_with_audit(config)
+        base_report = run_with_audit(config.paired_baseline())
+        pf, base = pf_report.result, base_report.result
+        audits = [base_report, pf_report]
+    else:
+        pf = run_experiment(config)
+        base = run_experiment(config.paired_baseline())
     rows = []
     for name, get in [
         ("total time (ms)", lambda r: r.total_time),
@@ -157,7 +182,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{config.intensity} (seed {config.seed})",
         )
     )
+    for report in audits:
+        _print_audit(report)
     return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .analysis.audit import run_twice_and_diff
+
+    config = ExperimentConfig(
+        pattern=args.pattern,
+        sync_style=args.sync,
+        compute_mean=args.compute,
+        seed=args.seed,
+        policy=args.policy,
+        n_nodes=args.nodes,
+        n_disks=args.disks,
+        file_blocks=args.file_blocks,
+        total_reads=args.reads,
+    )
+    ok = True
+    for cell in (config, config.paired_baseline()):
+        report = run_twice_and_diff(cell)
+        print(report.summary())
+        ok = ok and report.identical
+    print("determinism audit:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -313,7 +363,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--policy", default="oracle",
                        choices=["oracle", "obl", "portion", "global-seq"])
     p_run.add_argument("--lead", type=int, default=0)
+    p_run.add_argument(
+        "--audit", action="store_true",
+        help="run under the determinism auditor: event-trace hashing, "
+        "race detection, periodic invariant sweeps",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="determinism audit: run twice, diff event-trace hashes",
+    )
+    p_audit.add_argument("--pattern", choices=PATTERN_NAMES, default="gw")
+    p_audit.add_argument("--sync", choices=SYNC_STYLES, default="per-proc")
+    p_audit.add_argument("--compute", type=float, default=30.0)
+    p_audit.add_argument("--seed", type=int, default=1)
+    p_audit.add_argument("--policy", default="oracle",
+                         choices=["oracle", "obl", "portion", "global-seq"])
+    p_audit.add_argument("--nodes", type=int, default=4,
+                         help="machine size for the audit run")
+    p_audit.add_argument("--disks", type=int, default=4)
+    p_audit.add_argument("--file-blocks", type=int, default=400)
+    p_audit.add_argument("--reads", type=int, default=400)
+    p_audit.set_defaults(func=_cmd_audit)
 
     p_suite = sub.add_parser("suite", help="run the full paper mix")
     p_suite.add_argument("--seed", type=int, default=1)

@@ -12,7 +12,7 @@ pairs), returning both results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Protocol, Tuple
 
 from ..fs.cache import BlockCache, CacheConfig
 from ..fs.file import File
@@ -39,7 +39,32 @@ from ..workload.progress import ProgressTracker
 from ..workload.synchronization import make_sync
 from .config import ExperimentConfig
 
-__all__ = ["RunResult", "run_experiment", "run_materialized", "run_pair"]
+__all__ = [
+    "RunInstrumentation",
+    "RunResult",
+    "run_experiment",
+    "run_materialized",
+    "run_pair",
+]
+
+
+class RunInstrumentation(Protocol):
+    """Hooks for auditing a run without altering its behaviour.
+
+    Implementations (see :class:`repro.analysis.audit.Auditor`) attach
+    read-only step observers and periodic invariant sweeps.  Hooks are
+    invoked at two points so observers can cover the *entire* event
+    stream, including process-initialization events scheduled while the
+    machine is wired up.
+    """
+
+    def on_environment(self, env: Environment) -> None:
+        """Called immediately after the bare environment is created."""
+
+    def on_wired(
+        self, env: Environment, machine: Machine, cache: BlockCache
+    ) -> None:
+        """Called once machine, cache, and policies are constructed."""
 
 
 @dataclass
@@ -110,7 +135,10 @@ def _build_policy(
     raise ValueError(f"unknown policy {config.policy!r}")
 
 
-def run_experiment(config: ExperimentConfig) -> RunResult:
+def run_experiment(
+    config: ExperimentConfig,
+    instrument: Optional[RunInstrumentation] = None,
+) -> RunResult:
     """Simulate one configuration to completion and summarize it."""
     rng = RandomStreams(config.seed)
     pattern = make_pattern(
@@ -122,11 +150,14 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
         portion_length=config.portion_length,
         portion_stride=config.portion_stride,
     )
-    return run_materialized(pattern, config, rng)
+    return run_materialized(pattern, config, rng, instrument=instrument)
 
 
 def run_materialized(
-    pattern, config: ExperimentConfig, rng: Optional[RandomStreams] = None
+    pattern,
+    config: ExperimentConfig,
+    rng: Optional[RandomStreams] = None,
+    instrument: Optional[RunInstrumentation] = None,
 ) -> RunResult:
     """Run a pre-built :class:`~repro.workload.patterns.AccessPattern`
     under ``config``'s machine/cache/prefetch setup.
@@ -135,6 +166,8 @@ def run_materialized(
     (hybrid patterns, custom strings); ``config.pattern`` is ignored.
     """
     env = Environment()
+    if instrument is not None:
+        instrument.on_environment(env)
     rng = rng if rng is not None else RandomStreams(config.seed)
 
     machine = Machine(
@@ -188,6 +221,9 @@ def run_materialized(
         )
         for node in machine.nodes:
             PrefetchDaemon(node, cache, policy, metrics, daemon_config)
+
+    if instrument is not None:
+        instrument.on_wired(env, machine, cache)
 
     apps = [
         env.process(

@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Optional
 
+from ..analysis.invariants import invariant
 from ..sim.events import Event
 from ..machine.disk import RequestKind
 
@@ -147,7 +148,11 @@ class Buffer:
         if self.state is not BufferState.FETCHING:
             raise RuntimeError(f"{self!r} not fetching")
         self.state = BufferState.READY
-        assert self.ready_event is not None
+        invariant(
+            self.ready_event is not None,
+            "fetching buffer has no ready event",
+            self,
+        )
         self.ready_event.succeed(self)
 
     def record_use(self) -> None:

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
+from ..analysis.invariants import invariant
 from ..machine.disk import RequestKind
 from ..sim.events import Event
 from ..sim.monitor import Tally
@@ -198,7 +199,11 @@ class BlockCache:
         if buffer.index in self._budget_holders:
             self._budget_holders.discard(buffer.index)
             self.unused_prefetched -= 1
-            assert self.unused_prefetched >= 0
+            invariant(
+                self.unused_prefetched >= 0,
+                "prefetch-unused budget went negative",
+                self.unused_prefetched,
+            )
 
     def _evict(self, victim: Buffer) -> None:
         """Detach the victim's current block (caller holds the lock)."""
@@ -407,21 +412,54 @@ class BlockCache:
     # ------------------------------------------------------------ invariants
 
     def check_invariants(self) -> None:
-        """Structural sanity checks (used by tests and debug runs)."""
-        seen_blocks = set()
+        """Structural sanity checks, raising
+        :class:`~repro.analysis.invariants.InvariantViolation` on failure.
+
+        Called by tests, after every run by the experiment runner, and
+        periodically during audited runs (``--audit`` /
+        :mod:`repro.analysis.audit`).  Unlike a bare ``assert``, these
+        checks survive ``python -O``.
+        """
         for block, buffer in self.table.items():
-            assert buffer.block == block, (block, buffer)
-            assert block not in seen_blocks
-            seen_blocks.add(block)
-            assert buffer.state in (BufferState.FETCHING, BufferState.READY)
-        assert self.unused_prefetched == len(self._budget_holders)
-        assert 0 <= self.unused_prefetched <= self.unused_limit
+            invariant(
+                buffer.block == block,
+                "cache table entry disagrees with buffer assignment",
+                block,
+                buffer,
+            )
+            invariant(
+                buffer.state in (BufferState.FETCHING, BufferState.READY),
+                "tabled buffer in impossible state",
+                buffer,
+            )
+        invariant(
+            self.unused_prefetched == len(self._budget_holders),
+            "prefetch-unused counter disagrees with budget holders",
+            self.unused_prefetched,
+            len(self._budget_holders),
+        )
+        invariant(
+            0 <= self.unused_prefetched <= self.unused_limit,
+            "prefetch-unused counter outside [0, limit]",
+            self.unused_prefetched,
+            self.unused_limit,
+        )
         all_buffers = [
             b for group in (self.demand_rusets + self.prefetch_sets)
             for b in group
         ]
-        assert len(all_buffers) == self.n_buffers
+        invariant(
+            len(all_buffers) == self.n_buffers,
+            "buffer pools lost or gained buffers",
+            len(all_buffers),
+            self.n_buffers,
+        )
         for buffer in all_buffers:
             if buffer.block is not None and self.table.get(buffer.block) is buffer:
                 continue
-            assert buffer.block is None or buffer.state is BufferState.EMPTY
+            invariant(
+                buffer.block is None
+                or buffer.state is BufferState.EMPTY,
+                "buffer holds a block absent from the cache table",
+                buffer,
+            )

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator
 
+from ..analysis.invariants import invariant
 from ..machine.node import IdleKind, Node
 from ..sim.events import Event
 from ..sim.resources import Request
@@ -76,7 +77,11 @@ class FileServer:
             if outcome.kind == "unready"
             else IdleKind.SELF_IO
         )
-        assert outcome.ready_event is not None
+        invariant(
+            outcome.ready_event is not None,
+            "unready/miss lookup outcome lacks a ready event",
+            outcome,
+        )
         _, cpu_req = yield from node.idle_wait(
             cpu_req, outcome.ready_event, idle_kind
         )

@@ -20,6 +20,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from ..analysis.invariants import invariant
 from ..sim.events import Event
 from ..sim.monitor import Tally, TimeWeighted
 from ..sim.resources import Store
@@ -207,6 +208,39 @@ class Disk:
     def utilization(self) -> float:
         """Fraction of time spent transferring, from t=0 to now."""
         return self.busy.time_average()
+
+    def check_invariants(self) -> None:
+        """Accounting sanity checks, raising
+        :class:`~repro.analysis.invariants.InvariantViolation` on failure
+        (run periodically during audited runs)."""
+        invariant(
+            self.blocks_served == self.response_times.count,
+            "served-block counter disagrees with response tally",
+            self.disk_id,
+            self.blocks_served,
+            self.response_times.count,
+        )
+        invariant(
+            self.demand_response.count + self.prefetch_response.count
+            == self.response_times.count,
+            "kind-partitioned tallies do not sum to the response tally",
+            self.disk_id,
+        )
+        invariant(
+            self.busy.value in (0.0, 1.0),
+            "busy indicator is not 0/1",
+            self.disk_id,
+            self.busy.value,
+        )
+        # The series is updated by the server *after* its get() resumes,
+        # so it may momentarily lag above the live queue — never below.
+        invariant(
+            self.queue_length.value >= len(self._queue.items),
+            "queue-length series fell below the live queue",
+            self.disk_id,
+            self.queue_length.value,
+            len(self._queue.items),
+        )
 
     def _serve(self):
         while True:

@@ -31,6 +31,7 @@ from __future__ import annotations
 from statistics import median
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..analysis.invariants import invariant
 from .policy import PrefetchPolicy, register_policy
 
 __all__ = ["OBLPolicy", "PortionPolicy", "GlobalSequentialPolicy", "GlobalPortionPolicy"]
@@ -293,7 +294,10 @@ class GlobalPortionPolicy(_ClaimingPolicy):
         if self._cur_start is None:
             self._cur_start = self._cur_high = block
             return
-        assert self._cur_high is not None
+        invariant(
+            self._cur_high is not None,
+            "portion tracker has a start but no high-water mark",
+        )
         # Extend the current portion if the access lands in or adjacent
         # to it (global order is only *roughly* sequential).
         if self._cur_start - 1 <= block <= self._cur_high + self.max_ahead:
@@ -327,7 +331,10 @@ class GlobalPortionPolicy(_ClaimingPolicy):
             return None
         geometry = self._learned_geometry()
         start, high = self._cur_start, self._cur_high
-        assert start is not None
+        invariant(
+            start is not None,
+            "portion tracker has a high-water mark but no start",
+        )
 
         # Lead the current portion while it is believed unfinished.
         limit = None

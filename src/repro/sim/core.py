@@ -11,12 +11,20 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from math import inf
-from typing import Any, Iterable, Optional, Union
+from typing import Any, Callable, Iterable, List, Optional, Union
 
+from ..analysis.invariants import InvariantViolation
 from .events import NORMAL, PENDING, AllOf, AnyOf, Event, Timeout
 from .process import Process, ProcessGenerator
 
-__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+__all__ = ["Environment", "EmptySchedule", "StopSimulation", "StepObserver"]
+
+#: Signature of a step observer: ``(time, priority, sequence, event)``,
+#: called for every event popped by :meth:`Environment.step` *before* its
+#: callbacks run.  Observers must be read-only with respect to simulation
+#: state — they exist for auditing (trace hashing, race detection), and
+#: mutating state from one would itself be a source of nondeterminism.
+StepObserver = Callable[[float, int, int, Event], None]
 
 
 class EmptySchedule(Exception):
@@ -48,6 +56,7 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_proc: Optional[Process] = None
+        self._step_observers: List[StepObserver] = []
 
     # -- introspection --------------------------------------------------------
 
@@ -89,6 +98,21 @@ class Environment:
         """Event that fires when any of ``events`` has fired."""
         return AnyOf(self, events)
 
+    # -- instrumentation ------------------------------------------------------
+
+    def add_step_observer(self, observer: StepObserver) -> None:
+        """Register an auditing hook called on every processed event.
+
+        Observers receive ``(time, priority, sequence, event)`` exactly as
+        popped from the queue — the full deterministic ordering key plus
+        the event itself — and must not mutate simulation state.
+        """
+        self._step_observers.append(observer)
+
+    def remove_step_observer(self, observer: StepObserver) -> None:
+        """Unregister a previously added step observer."""
+        self._step_observers.remove(observer)
+
     # -- scheduling -----------------------------------------------------------
 
     def schedule(
@@ -107,12 +131,17 @@ class Environment:
             If the queue is empty.
         """
         try:
-            self._now, _, _, event = heappop(self._queue)
+            self._now, priority, sequence, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
 
+        if self._step_observers:
+            for observer in self._step_observers:
+                observer(self._now, priority, sequence, event)
+
         callbacks, event.callbacks = event.callbacks, None
-        assert callbacks is not None, "event processed twice"
+        if callbacks is None:
+            raise InvariantViolation(f"{event!r} processed twice")
         for callback in callbacks:
             callback(event)
 

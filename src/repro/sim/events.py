@@ -20,7 +20,7 @@ simulated processes are never silently swallowed.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .core import Environment
@@ -215,19 +215,19 @@ class ConditionValue:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self) -> Iterable[Event]:
+    def __iter__(self) -> Iterator[Event]:
         return iter(self.events)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ConditionValue {self.todict()!r}>"
 
-    def keys(self) -> Iterable[Event]:
+    def keys(self) -> Iterator[Event]:
         return iter(self.events)
 
-    def values(self) -> Iterable[Any]:
+    def values(self) -> Iterator[Any]:
         return (e._value for e in self.events)
 
-    def items(self) -> Iterable[tuple[Event, Any]]:
+    def items(self) -> Iterator[tuple[Event, Any]]:
         return ((e, e._value) for e in self.events)
 
     def todict(self) -> dict[Event, Any]:

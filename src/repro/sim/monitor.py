@@ -1,4 +1,4 @@
-"""Measurement helpers: tallies and time-weighted series.
+"""Measurement helpers: tallies, time-weighted series, and audit hooks.
 
 The paper's measures (Section IV-C) are either *tallies* over discrete
 observations (block read times, hit-wait times, prefetch action lengths,
@@ -6,17 +6,40 @@ overruns, synchronization waits) or *time-weighted* quantities (queue
 lengths, utilization).  :class:`Tally` and :class:`TimeWeighted` cover both;
 they retain raw samples optionally so the figure generators can compute
 medians, percentiles, and CDFs.
+
+Two step observers support the determinism auditor
+(:mod:`repro.analysis.audit`), attached via
+:meth:`~repro.sim.core.Environment.add_step_observer`:
+
+* :class:`EventTraceHash` — an incremental fingerprint of the executed
+  ``(time, priority, sequence, event-type)`` stream.  Two runs of the same
+  configuration are bit-for-bit reproductions iff their digests match.
+* :class:`SimultaneousEventLog` — the DES analogue of a data-race
+  detector: it flags distinct events processed at an identical
+  ``(time, priority)`` instant that contend for the *same* resource
+  (a disk queue, the cache metadata lock), where only the scheduling
+  sequence number breaks the tie.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
-from typing import TYPE_CHECKING, List, Optional, Sequence
+import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .core import Environment
+    from .events import Event
 
-__all__ = ["Tally", "TimeWeighted"]
+__all__ = [
+    "Tally",
+    "TimeWeighted",
+    "EventTraceHash",
+    "ResourceCollision",
+    "SimultaneousEventLog",
+]
 
 
 class Tally:
@@ -144,3 +167,96 @@ class TimeWeighted:
             return self._value
         area = self._area + self._value * (end - self._last_change)
         return area / span
+
+
+class EventTraceHash:
+    """Incremental fingerprint of the executed event stream.
+
+    Hashes every processed event's full ordering key — the exact bits of
+    ``(time, priority, sequence)`` plus the event's type name — so any
+    divergence in scheduling, tie-breaking, or event population between
+    two runs of the same configuration changes the digest.
+    """
+
+    def __init__(self) -> None:
+        self._hash = hashlib.blake2b(digest_size=16)
+        self.n_events = 0
+
+    def __call__(
+        self, time: float, priority: int, sequence: int, event: "Event"
+    ) -> None:
+        self._hash.update(struct.pack("<dqq", time, priority, sequence))
+        self._hash.update(type(event).__name__.encode("ascii"))
+        self.n_events += 1
+
+    def hexdigest(self) -> str:
+        """Digest of the stream hashed so far (non-destructive)."""
+        return self._hash.hexdigest()
+
+
+@dataclass(frozen=True)
+class ResourceCollision:
+    """Distinct same-instant events contending for one resource."""
+
+    time: float
+    priority: int
+    resource: str
+    n_events: int
+
+
+class SimultaneousEventLog:
+    """Detect ``(time, priority)`` collisions on shared resources.
+
+    Events popped at an identical ``(time, priority)`` are ordered only by
+    their scheduling sequence number.  When two or more such events are
+    resource requests/transfers against the *same* resource object (two
+    nodes submitting to one disk queue, two processes granted the cache
+    metadata lock back-to-back at one instant), the winner is decided by
+    code ordering alone — the discrete-event analogue of a data race.
+    The run is still deterministic, but fragile: any refactor that
+    reorders scheduling calls silently changes the outcome.  This log
+    makes such collision points visible.
+    """
+
+    def __init__(self, keep: int = 1000) -> None:
+        self.keep = keep
+        self.collisions: List[ResourceCollision] = []
+        self.n_collisions = 0
+        self._key: Optional[Tuple[float, int]] = None
+        self._bucket: List["Event"] = []
+
+    def __call__(
+        self, time: float, priority: int, sequence: int, event: "Event"
+    ) -> None:
+        key = (time, priority)
+        if key != self._key:
+            self._flush()
+            self._key = key
+        self._bucket.append(event)
+
+    def _flush(self) -> None:
+        if len(self._bucket) > 1 and self._key is not None:
+            by_resource: dict[int, List["Event"]] = {}
+            for event in self._bucket:
+                resource = getattr(event, "resource", None)
+                if resource is not None:
+                    by_resource.setdefault(id(resource), []).append(event)
+            for group in by_resource.values():
+                if len(group) > 1:
+                    self.n_collisions += 1
+                    if len(self.collisions) < self.keep:
+                        resource = getattr(group[0], "resource")
+                        self.collisions.append(
+                            ResourceCollision(
+                                time=self._key[0],
+                                priority=self._key[1],
+                                resource=type(resource).__name__,
+                                n_events=len(group),
+                            )
+                        )
+        self._bucket = []
+
+    def finish(self) -> None:
+        """Flush the trailing bucket once the run is over."""
+        self._flush()
+        self._key = None

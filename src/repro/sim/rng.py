@@ -16,9 +16,11 @@ mixed into the entropy pool.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, TypeVar
 
 import numpy as np
+
+T = TypeVar("T")
 
 __all__ = ["RandomStreams"]
 
@@ -77,7 +79,7 @@ class RandomStreams:
             raise ValueError(f"empty range [{low}, {high})")
         return float(self.stream(name).uniform(low, high))
 
-    def shuffle(self, name: str, items: Iterable) -> list:
+    def shuffle(self, name: str, items: Iterable[T]) -> List[T]:
         """Return a shuffled copy of ``items``."""
         out = list(items)
         self.stream(name).shuffle(out)

@@ -226,7 +226,8 @@ def make_pattern(
                     per_node, base, portion_length, portion_stride, file_blocks
                 )
             elif name == "lrp":
-                assert rng is not None
+                if rng is None:
+                    raise ValueError("pattern 'lrp' requires an rng")
                 b, p = _random_portion_string(
                     per_node, file_blocks, rng, stream=f"lrp/node{node}"
                 )
@@ -251,7 +252,8 @@ def make_pattern(
             total, 0, portion_length, portion_stride, file_blocks
         )
     elif name == "grp":
-        assert rng is not None
+        if rng is None:
+            raise ValueError("pattern 'grp' requires an rng")
         b, p = _random_portion_string(
             total, file_blocks, rng, stream="grp/global"
         )
@@ -321,7 +323,8 @@ def make_hybrid(
                     file_blocks,
                 )
             elif style == "lrp":
-                assert rng is not None
+                if rng is None:
+                    raise ValueError("hybrid style 'lrp' requires an rng")
                 b, p = _random_portion_string(
                     reads_per_node, file_blocks, rng,
                     stream=f"hybrid/lrp/node{node}",

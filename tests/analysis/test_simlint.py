@@ -1,0 +1,254 @@
+"""simlint: one positive and one negative fixture per rule, suppression
+syntax, path classification, CLI behaviour, and the shipped-tree gate."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.simlint import lint_file, lint_paths, main
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _lint_snippet(tmp_path, source, rel="repro/fs/mod.py"):
+    """Write ``source`` at ``rel`` under a scan root and lint the tree."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_paths([tmp_path])
+
+
+def _rules(findings):
+    return [d.rule for d in findings]
+
+
+# ---------------------------------------------------------------- rng rule
+
+
+def test_rng_flags_stdlib_random_import(tmp_path):
+    findings = _lint_snippet(tmp_path, "import random\n")
+    assert _rules(findings) == ["rng"]
+
+
+def test_rng_flags_random_call(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "import foo\n\ndef f(random):\n    return random.random()\n"
+    )
+    assert "rng" in _rules(findings)
+
+
+def test_rng_flags_default_rng_and_seedsequence(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "import numpy as np\n"
+        "g = np.random.default_rng(0)\n"
+        "s = SeedSequence(1)\n",
+    )
+    assert _rules(findings).count("rng") == 2
+
+
+def test_rng_blessed_paths_exempt(tmp_path):
+    source = "import numpy as np\ng = np.random.default_rng(0)\n"
+    assert _lint_snippet(tmp_path, source, rel="repro/sim/rng.py") == []
+    assert _lint_snippet(tmp_path, source, rel="repro/machine/disk.py") == []
+    assert _lint_snippet(tmp_path, source, rel="repro/fs/cache.py") != []
+
+
+def test_rng_negative_named_streams_clean(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "def f(rng):\n    return rng.exponential('compute/node0', 30.0)\n",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------- wallclock rule
+
+
+def test_wallclock_flags_time_time(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "import time\n\ndef f():\n    return time.time()\n"
+    )
+    assert _rules(findings) == ["wallclock"]
+
+
+def test_wallclock_flags_perf_counter_import(tmp_path):
+    findings = _lint_snippet(tmp_path, "from time import perf_counter\n")
+    assert _rules(findings) == ["wallclock"]
+
+
+def test_wallclock_flags_datetime_now(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "import datetime\n\ndef f():\n    return datetime.datetime.now()\n",
+    )
+    assert _rules(findings) == ["wallclock"]
+
+
+def test_wallclock_suppression_comment(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "import time\n\ndef f():\n"
+        "    return time.time()  # simlint: allow-wallclock\n",
+        rel="repro/metrics/report.py",
+    )
+    assert findings == []
+
+
+def test_wallclock_negative_env_now_clean(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "def f(env):\n    return env.now\n"
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------- unordered rule
+
+
+def test_unordered_flags_set_literal_iteration(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "def f():\n    for x in {1, 2, 3}:\n        yield x\n"
+    )
+    assert _rules(findings) == ["unordered"]
+
+
+def test_unordered_flags_keys_iteration(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "def f(d):\n    return [k for k in d.keys()]\n"
+    )
+    assert _rules(findings) == ["unordered"]
+
+
+def test_unordered_flags_local_set_inference(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "def f(items):\n"
+        "    pending = set(items)\n"
+        "    for x in pending:\n"
+        "        yield x\n",
+    )
+    assert _rules(findings) == ["unordered"]
+
+
+def test_unordered_sorted_wrapper_clean(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "def f(d, s):\n"
+        "    for k in sorted(d.keys()):\n"
+        "        yield k\n"
+        "    for x in sorted(s):\n"
+        "        yield x\n",
+    )
+    assert findings == []
+
+
+def test_unordered_only_in_sim_critical_packages(tmp_path):
+    source = "def f():\n    for x in {1, 2}:\n        yield x\n"
+    assert _lint_snippet(tmp_path, source, rel="repro/experiments/a.py") == []
+    assert _lint_snippet(tmp_path, source, rel="repro/workload/a.py") != []
+
+
+def test_unordered_membership_test_clean(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "def f(xs):\n"
+        "    seen = set()\n"
+        "    return [x for x in xs if x not in seen]\n",
+    )
+    assert findings == []
+
+
+# -------------------------------------------------------------- assert rule
+
+
+def test_assert_flagged_in_library_code(tmp_path):
+    findings = _lint_snippet(tmp_path, "def f(x):\n    assert x > 0\n")
+    assert _rules(findings) == ["assert"]
+
+
+def test_assert_allowed_in_tests(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "def test_f():\n    assert 1 + 1 == 2\n",
+        rel="tests/fs/test_mod.py",
+    )
+    assert findings == []
+
+
+def test_assert_suppression(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "def f(x):\n    assert x  # simlint: allow-assert\n"
+    )
+    assert findings == []
+
+
+def test_invariant_call_clean(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "from repro.analysis.invariants import invariant\n\n"
+        "def f(x):\n    invariant(x > 0, 'x must be positive', x)\n",
+    )
+    assert findings == []
+
+
+# -------------------------------------------------------- driver behaviour
+
+
+def test_skip_file_directive(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "# simlint: skip-file\nimport random\n"
+    )
+    assert findings == []
+
+
+def test_syntax_error_reported(tmp_path):
+    findings = _lint_snippet(tmp_path, "def f(:\n")
+    assert _rules(findings) == ["parse"]
+
+
+def test_lint_file_single(tmp_path):
+    path = tmp_path / "standalone.py"
+    path.write_text("import random\n")
+    findings = lint_file(path, tmp_path)
+    assert _rules(findings) == ["rng"]
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "repro" / "fs"
+    bad.mkdir(parents=True)
+    (bad / "bad.py").write_text("import time\nt = time.time()\n")
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "bad.py:2" in out and "simlint[wallclock]" in out
+
+    (bad / "bad.py").write_text("x = 1\n")
+    assert main([str(tmp_path)]) == 0
+    assert main([]) == 2
+    assert main(["--list-rules"]) == 0
+    assert main(["--select", "nope", str(tmp_path)]) == 2
+    assert main(["--select", "rng", str(tmp_path)]) == 0
+
+
+def test_injected_violation_in_fs_is_caught(tmp_path):
+    """Acceptance: a random.random()/time.time() injected into a copy of
+    src/repro/fs is flagged with file:line diagnostics."""
+    import shutil
+
+    dst = tmp_path / "src" / "repro" / "fs"
+    shutil.copytree(SRC / "repro" / "fs", dst)
+    assert lint_paths([tmp_path / "src"]) == []
+
+    victim = dst / "cache.py"
+    victim.write_text(
+        victim.read_text()
+        + "\n\nimport random\n\ndef _jitter():\n    return random.random()\n"
+    )
+    findings = lint_paths([tmp_path / "src"])
+    assert findings and all(d.rule == "rng" for d in findings)
+    assert all(d.path == victim for d in findings)
+    assert all(d.line > 0 for d in findings)
+
+
+def test_shipped_tree_is_clean():
+    """Acceptance: simlint exits 0 on the shipped src/ tree."""
+    assert lint_paths([SRC]) == []
