@@ -16,8 +16,9 @@ Quick start::
 Packages: :mod:`repro.sim` (DES kernel), :mod:`repro.machine` (NUMA nodes,
 disks), :mod:`repro.fs` (interleaved files, block cache),
 :mod:`repro.prefetch` (policies + daemon), :mod:`repro.workload` (access
-patterns, synchronization), :mod:`repro.metrics`, and
-:mod:`repro.experiments` (runner, figures, analysis).
+patterns, synchronization), :mod:`repro.metrics`,
+:mod:`repro.experiments` (runner, figures, analysis), and
+:mod:`repro.traces` (record/synthesize/import/replay workload traces).
 """
 
 from .experiments.config import ExperimentConfig

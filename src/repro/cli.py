@@ -14,7 +14,14 @@ Subcommands:
   hit ratios, sequentiality, and Fig. 2 taxonomy classification;
 * ``audit``   — determinism audit: run one configuration twice (prefetch
   on and off), compare event-trace hashes, and report same-instant
-  resource collisions and invariant sweeps (see docs/analysis.md).
+  resource collisions and invariant sweeps (see docs/analysis.md);
+* ``trace``   — the trace lifecycle (see docs/traces.md):
+  ``trace record`` captures a replayable trace from a live run,
+  ``trace synth`` generates non-paper workloads (bursty, phased, skewed,
+  mixed), ``trace import`` adapts external block-trace CSVs,
+  ``trace replay`` drives a trace through the full simulator as a paired
+  prefetch on/off comparison (``--audit`` replays twice and diffs event
+  hashes), and ``trace stats`` summarizes a trace file.
 
 ``run --audit`` additionally runs the paired comparison under the runtime
 auditor: event-trace hashing, the simultaneous-event race detector, and
@@ -59,7 +66,7 @@ from .experiments import (
     vf_pattern_breakdown,
 )
 from .experiments.figures import FigureData
-from .metrics.report import render_table
+from .metrics.report import paired_measure_rows, render_table
 from .workload.patterns import PATTERN_NAMES
 from .workload.synchronization import SYNC_STYLES
 
@@ -157,27 +164,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         pf = run_experiment(config)
         base = run_experiment(config.paired_baseline())
-    rows = []
-    for name, get in [
-        ("total time (ms)", lambda r: r.total_time),
-        ("avg block read time (ms)", lambda r: r.avg_read_time),
-        ("hit ratio", lambda r: r.hit_ratio),
-        ("ready-hit fraction", lambda r: r.ready_hit_fraction),
-        ("unready-hit fraction", lambda r: r.unready_hit_fraction),
-        ("avg hit-wait, all hits (ms)", lambda r: r.avg_hit_wait_all),
-        ("avg hit-wait, unready only (ms)", lambda r: r.avg_hit_wait),
-        ("disk response (ms)", lambda r: r.disk_response_mean),
-        ("sync wait mean (ms)", lambda r: r.sync_wait_mean),
-        ("overrun mean (ms)", lambda r: r.overrun_mean),
-        ("blocks prefetched", lambda r: r.blocks_prefetched),
-        ("blocks demand fetched", lambda r: r.blocks_demand_fetched),
-        ("prefetch action mean (ms)", lambda r: r.prefetch_action_mean),
-    ]:
-        rows.append((name, get(base), get(pf)))
     print(
         render_table(
             ["measure", "no-prefetch", "prefetch"],
-            rows,
+            paired_measure_rows(base, pf),
             title=f"{config.pattern}/{config.sync_style}/"
             f"{config.intensity} (seed {config.seed})",
         )
@@ -347,6 +337,139 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from .traces import record_run
+
+    config = ExperimentConfig(
+        pattern=args.pattern,
+        sync_style=args.sync,
+        compute_mean=args.compute,
+        seed=args.seed,
+        prefetch=not args.no_prefetch,
+        n_nodes=args.nodes,
+        n_disks=args.disks,
+        file_blocks=args.file_blocks,
+        total_reads=args.reads,
+    )
+    result, trace = record_run(config)
+    trace.save(args.output)
+    print(
+        f"recorded {len(trace)} reads from [{config.label}] "
+        f"(total time {result.total_time:.1f} ms) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from .traces import ReplayTrace, replay_config, replay_pair
+    from .traces import replay_twice_and_diff
+
+    trace = ReplayTrace.load(args.trace)
+    base = ExperimentConfig(
+        policy=args.policy,
+        lead=args.lead,
+        n_disks=args.disks if args.disks is not None else trace.meta.n_nodes,
+    )
+    config = replay_config(trace, base)
+    if args.audit:
+        ok = True
+        for cell in (config, config.paired_baseline()):
+            report = replay_twice_and_diff(trace, cell)
+            print(report.summary())
+            ok = ok and report.identical
+        print("replay determinism audit:", "PASS" if ok else "FAIL")
+        return 0 if ok else 1
+    pf, baseline = replay_pair(trace, config)
+    print(
+        render_table(
+            ["measure", "no-prefetch", "prefetch"],
+            paired_measure_rows(baseline, pf),
+            title=f"replay of {args.trace} "
+            f"({trace.meta.source} '{trace.meta.workload}', "
+            f"{trace.meta.n_nodes} nodes, policy {args.policy})",
+        )
+    )
+    return 0
+
+
+def _cmd_trace_synth(args: argparse.Namespace) -> int:
+    from .traces import make_synthetic_trace
+
+    trace = make_synthetic_trace(
+        args.kind,
+        n_nodes=args.nodes,
+        file_blocks=args.file_blocks,
+        reads_per_node=args.reads_per_node,
+        seed=args.seed,
+        compute_mean=args.compute,
+        sync_every=args.sync_every,
+    )
+    trace.save(args.output)
+    print(
+        f"synthesized '{args.kind}' trace: {len(trace)} reads on "
+        f"{args.nodes} nodes (seed {args.seed}) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_trace_import(args: argparse.Namespace) -> int:
+    from .traces import import_csv_trace
+
+    trace = import_csv_trace(
+        args.csv,
+        workload=args.workload,
+        file_blocks=args.file_blocks,
+    )
+    trace.save(args.output)
+    extra = trace.meta.extra
+    notes = []
+    if extra.get("sorted"):
+        notes.append("rows re-sorted by timestamp")
+    if extra.get("compute_derived"):
+        notes.append("compute gaps derived from inter-arrival times")
+    if extra.get("portions_derived"):
+        notes.append("portions derived by sequential-run detection")
+    print(
+        f"imported {len(trace)} reads on {trace.meta.n_nodes} nodes "
+        f"(file of {trace.meta.file_blocks} blocks) -> {args.output}"
+    )
+    for note in notes:
+        print(f"  note: {note}")
+    return 0
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    from .traces import ReplayTrace
+
+    trace = ReplayTrace.load(args.trace)
+    meta = trace.meta
+    stats = trace.stats()
+    print(
+        f"{args.trace}: {meta.source} '{meta.workload}' trace, "
+        f"{meta.n_nodes} nodes, file of {meta.file_blocks} blocks"
+    )
+    if meta.seed is not None:
+        print(f"  seed {meta.seed}, sync style '{meta.sync_style}'")
+    per_node = stats["reads_per_node"]
+    print(
+        f"  {stats['n_records']} reads of {stats['distinct_blocks']} "
+        f"distinct blocks (per node min {min(per_node)}, "
+        f"max {max(per_node)})"
+    )
+    print(
+        f"  compute: mean {stats['compute_mean']:.2f} ms, "
+        f"total {stats['compute_total']:.1f} ms; "
+        f"{stats['sync_joins']} barrier visits"
+    )
+    print(f"  sequentiality: successor fraction "
+          f"{stats['sequentiality']:.2f}")
+    hot = ", ".join(
+        f"{block} (x{count})" for block, count in stats["hot_blocks"]
+    )
+    print(f"  hottest blocks: {hot}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rapid-transit",
@@ -425,6 +548,93 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-sizes", type=int, nargs="+", default=[20, 80, 200]
     )
     p_an.set_defaults(func=_cmd_analyze)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="record, synthesize, import, replay, and inspect "
+        "replay traces",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    p_rec = trace_sub.add_parser(
+        "record", help="run an experiment and record a replayable trace"
+    )
+    p_rec.add_argument("-o", "--output", required=True,
+                       help="trace file to write (JSON lines)")
+    p_rec.add_argument("--pattern", choices=PATTERN_NAMES, default="gw")
+    p_rec.add_argument("--sync", choices=SYNC_STYLES, default="none")
+    p_rec.add_argument("--compute", type=float, default=30.0)
+    p_rec.add_argument("--seed", type=int, default=1)
+    p_rec.add_argument(
+        "--no-prefetch", action="store_true",
+        help="record from the no-prefetch baseline (the usual choice: "
+        "the workload timeline is then policy-independent)",
+    )
+    p_rec.add_argument("--nodes", type=int, default=20)
+    p_rec.add_argument("--disks", type=int, default=20)
+    p_rec.add_argument("--file-blocks", type=int, default=2000)
+    p_rec.add_argument("--reads", type=int, default=None,
+                       help="total reads (default: the paper's 2000)")
+    p_rec.set_defaults(func=_cmd_trace_record)
+
+    p_repl = trace_sub.add_parser(
+        "replay",
+        help="replay a trace through the full simulator "
+        "(paired prefetch on/off comparison)",
+    )
+    p_repl.add_argument("trace", help="replay trace file")
+    p_repl.add_argument("--policy", default="oracle",
+                        choices=["oracle", "obl", "portion", "global-seq"])
+    p_repl.add_argument("--lead", type=int, default=0)
+    p_repl.add_argument(
+        "--disks", type=int, default=None,
+        help="disk count for the replay machine "
+        "(default: one per traced node)",
+    )
+    p_repl.add_argument(
+        "--audit", action="store_true",
+        help="replay twice under the determinism auditor and diff "
+        "event-trace hashes (exit 1 on divergence)",
+    )
+    p_repl.set_defaults(func=_cmd_trace_replay)
+
+    p_synth = trace_sub.add_parser(
+        "synth", help="generate a synthetic workload trace"
+    )
+    p_synth.add_argument(
+        "kind", choices=["bursty", "phased", "skewed", "mixed"]
+    )
+    p_synth.add_argument("-o", "--output", required=True)
+    p_synth.add_argument("--nodes", type=int, default=20)
+    p_synth.add_argument("--file-blocks", type=int, default=2000)
+    p_synth.add_argument("--reads-per-node", type=int, default=100)
+    p_synth.add_argument("--seed", type=int, default=1)
+    p_synth.add_argument("--compute", type=float, default=30.0)
+    p_synth.add_argument(
+        "--sync-every", type=int, default=0,
+        help="barrier visit after every N reads per node (0 = none)",
+    )
+    p_synth.set_defaults(func=_cmd_trace_synth)
+
+    p_imp = trace_sub.add_parser(
+        "import", help="import an external block-trace CSV"
+    )
+    p_imp.add_argument("csv", help="CSV with columns time,node,block"
+                       "[,compute][,portion]")
+    p_imp.add_argument("-o", "--output", required=True)
+    p_imp.add_argument("--workload", default="imported",
+                       help="workload name stored in the trace header")
+    p_imp.add_argument(
+        "--file-blocks", type=int, default=None,
+        help="file size in blocks (default: max block + 1)",
+    )
+    p_imp.set_defaults(func=_cmd_trace_import)
+
+    p_stats = trace_sub.add_parser(
+        "stats", help="summarize a replay trace"
+    )
+    p_stats.add_argument("trace", help="replay trace file")
+    p_stats.set_defaults(func=_cmd_trace_stats)
     return parser
 
 

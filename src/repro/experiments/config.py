@@ -26,8 +26,13 @@ _POLICIES = ("oracle", "obl", "portion", "global-seq", "global-portion", "null")
 class ExperimentConfig:
     """Full description of one experimental run."""
 
-    # Workload cell.
+    # Workload cell.  ``pattern`` is one of the paper's six names, or
+    # ``"trace:<workload>"`` for a trace-driven run (built by
+    # :func:`repro.traces.replay.run_replay`; such configs cannot be
+    # materialized by :func:`~repro.experiments.runner.run_experiment`).
     pattern: str = "gw"
+    #: One of SYNC_STYLES, or "replay" when the barrier-visit schedule
+    #: comes from a recorded trace instead of a coordinator rule.
     sync_style: str = "none"
     #: Mean per-block compute time, ms (0 = I/O bound).
     compute_mean: float = 30.0
@@ -80,9 +85,11 @@ class ExperimentConfig:
     record_trace: bool = True
 
     def __post_init__(self) -> None:
-        if self.pattern not in PATTERN_NAMES:
+        if self.pattern not in PATTERN_NAMES and not self.pattern.startswith(
+            "trace:"
+        ):
             raise ValueError(f"unknown pattern {self.pattern!r}")
-        if self.sync_style not in SYNC_STYLES:
+        if self.sync_style not in SYNC_STYLES + ("replay",):
             raise ValueError(f"unknown sync style {self.sync_style!r}")
         if self.policy not in _POLICIES:
             raise ValueError(f"unknown policy {self.policy!r}")

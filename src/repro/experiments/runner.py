@@ -42,6 +42,7 @@ from .config import ExperimentConfig
 __all__ = [
     "RunInstrumentation",
     "RunResult",
+    "materialize_pattern",
     "run_experiment",
     "run_materialized",
     "run_pair",
@@ -135,13 +136,9 @@ def _build_policy(
     raise ValueError(f"unknown policy {config.policy!r}")
 
 
-def run_experiment(
-    config: ExperimentConfig,
-    instrument: Optional[RunInstrumentation] = None,
-) -> RunResult:
-    """Simulate one configuration to completion and summarize it."""
-    rng = RandomStreams(config.seed)
-    pattern = make_pattern(
+def materialize_pattern(config: ExperimentConfig, rng: RandomStreams):
+    """Build ``config``'s access pattern from its workload parameters."""
+    return make_pattern(
         config.pattern,
         n_nodes=config.n_nodes,
         file_blocks=config.file_blocks,
@@ -150,6 +147,15 @@ def run_experiment(
         portion_length=config.portion_length,
         portion_stride=config.portion_stride,
     )
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    instrument: Optional[RunInstrumentation] = None,
+) -> RunResult:
+    """Simulate one configuration to completion and summarize it."""
+    rng = RandomStreams(config.seed)
+    pattern = materialize_pattern(config, rng)
     return run_materialized(pattern, config, rng, instrument=instrument)
 
 
@@ -158,12 +164,20 @@ def run_materialized(
     config: ExperimentConfig,
     rng: Optional[RandomStreams] = None,
     instrument: Optional[RunInstrumentation] = None,
+    *,
+    sync_factory=None,
+    app_factory=None,
 ) -> RunResult:
     """Run a pre-built :class:`~repro.workload.patterns.AccessPattern`
     under ``config``'s machine/cache/prefetch setup.
 
     This is the extension point for workloads outside the paper's six
     (hybrid patterns, custom strings); ``config.pattern`` is ignored.
+
+    ``sync_factory(env, pattern)`` overrides the sync coordinator and
+    ``app_factory(node, server, tracker, sync, pattern, rng, config)``
+    the per-node user process; :mod:`repro.traces` uses both to record
+    and replay traces through this exact wiring.
     """
     env = Environment()
     if instrument is not None:
@@ -203,14 +217,17 @@ def run_materialized(
         metrics,
     )
     server = FileServer(cache)
-    sync = make_sync(
-        config.sync_style,
-        env,
-        config.n_nodes,
-        pattern,
-        per_proc_k=config.per_proc_k,
-        total_k=config.total_k,
-    )
+    if sync_factory is not None:
+        sync = sync_factory(env, pattern)
+    else:
+        sync = make_sync(
+            config.sync_style,
+            env,
+            config.n_nodes,
+            pattern,
+            per_proc_k=config.per_proc_k,
+            total_k=config.total_k,
+        )
 
     if config.prefetch:
         policy = _build_policy(config, pattern, tracker)
@@ -225,9 +242,9 @@ def run_materialized(
     if instrument is not None:
         instrument.on_wired(env, machine, cache)
 
-    apps = [
-        env.process(
-            application(
+    if app_factory is None:
+        def app_factory(node, server, tracker, sync, pattern, rng, config):
+            return application(
                 node,
                 server,
                 tracker,
@@ -235,7 +252,11 @@ def run_materialized(
                 pattern,
                 rng,
                 config.compute_mean,
-            ),
+            )
+
+    apps = [
+        env.process(
+            app_factory(node, server, tracker, sync, pattern, rng, config),
             name=f"app-{node.node_id}",
         )
         for node in machine.nodes

@@ -16,7 +16,7 @@ from .file import File
 from .fileserver import FileServer
 from .layout import FileLayout, HashedLayout, RoundRobinLayout, StripedLayout
 from .replacement import GlobalLRUPolicy, ReplacementPolicy, RUSetPolicy
-from .trace import Trace, TraceRecord
+from .trace import Trace, TraceFormatError, TraceRecord
 
 __all__ = [
     "File",
@@ -35,5 +35,6 @@ __all__ = [
     "LookupOutcome",
     "FileServer",
     "Trace",
+    "TraceFormatError",
     "TraceRecord",
 ]

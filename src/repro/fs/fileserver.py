@@ -15,7 +15,7 @@ Timing anatomy of one read (all emergent from the cost model):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from ..analysis.invariants import invariant
 from ..machine.node import IdleKind, Node
@@ -37,6 +37,13 @@ class FileServer:
         self.env = cache.env
         self.machine = cache.machine
         self.metrics = cache.metrics
+        #: Optional callback ``(node_id, block, outcome, latency,
+        #: ref_index)`` fired as each demand read completes; the trace
+        #: recorder (:mod:`repro.traces.recorder`) attaches here.  Must be
+        #: passive: no events, no randomness.
+        self.read_observer: Optional[
+            Callable[[int, int, str, float, int], None]
+        ] = None
 
     def read_block(
         self,
@@ -67,6 +74,10 @@ class FileServer:
             self.cache.record_access(
                 node.node_id, block, "ready", latency, ref_index
             )
+            if self.read_observer is not None:
+                self.read_observer(
+                    node.node_id, block, "ready", latency, ref_index
+                )
             return cpu_req
 
         # Unready hit or miss: wait out the I/O as idle time.  We leave the
@@ -99,4 +110,8 @@ class FileServer:
         self.cache.record_access(
             node.node_id, block, outcome.kind, latency, ref_index
         )
+        if self.read_observer is not None:
+            self.read_observer(
+                node.node_id, block, outcome.kind, latency, ref_index
+            )
         return cpu_req

@@ -5,16 +5,65 @@ strategies" (Section IV-C).  Every block access produces a
 :class:`TraceRecord`; the :class:`Trace` container supports saving/loading
 as JSON lines and feeds :mod:`repro.experiments.analysis` (what-if hit
 ratios, optimal-replacement bounds, global-sequentiality measurement).
+
+Saved files are version-stamped: the first line is a JSON header
+``{"format": "rapid-transit-trace", "kind": "access", "version": 1}``.
+Headerless files (the pre-versioning layout) still load.  The richer
+*replayable* trace format lives in :mod:`repro.traces.format` and shares
+the ``rapid-transit-trace`` envelope with ``"kind": "replay"``.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Union
 
-__all__ = ["TraceRecord", "Trace"]
+__all__ = [
+    "TRACE_FORMAT_NAME",
+    "Trace",
+    "TraceFormatError",
+    "TraceRecord",
+    "parse_header",
+]
+
+#: Envelope name shared by every trace file this project writes.
+TRACE_FORMAT_NAME = "rapid-transit-trace"
+
+#: Version of the access-trace record layout below.
+ACCESS_TRACE_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """A trace file or record does not match the documented format."""
+
+
+def parse_header(line: str, *, kind: str, max_version: int) -> Optional[int]:
+    """Parse a candidate header line; return its version.
+
+    Returns ``None`` when the line is not a header at all (legacy files
+    whose first line is a record).  Raises :class:`TraceFormatError` for a
+    header of the wrong kind or an unsupported version.
+    """
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(data, dict) or data.get("format") != TRACE_FORMAT_NAME:
+        return None
+    found_kind = data.get("kind")
+    if found_kind != kind:
+        raise TraceFormatError(
+            f"trace file holds a {found_kind!r} trace, expected {kind!r}"
+        )
+    version = data.get("version")
+    if not isinstance(version, int) or not 1 <= version <= max_version:
+        raise TraceFormatError(
+            f"unsupported {kind} trace version {version!r} "
+            f"(this build reads versions 1..{max_version})"
+        )
+    return version
 
 
 @dataclass(frozen=True)
@@ -36,7 +85,28 @@ class TraceRecord:
 
     @classmethod
     def from_json(cls, line: str) -> "TraceRecord":
-        data = json.loads(line)
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"invalid JSON in trace record: {exc}")
+        if not isinstance(data, dict):
+            raise TraceFormatError(
+                f"trace record must be a JSON object, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise TraceFormatError(
+                f"unknown trace record field(s) {unknown}; "
+                f"known fields: {sorted(known)}"
+            )
+        missing = sorted(
+            {"time", "node", "block", "outcome", "latency"} - set(data)
+        )
+        if missing:
+            raise TraceFormatError(
+                f"trace record missing required field(s) {missing}"
+            )
         return cls(**data)
 
 
@@ -65,22 +135,51 @@ class Trace:
     # -- persistence -----------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write as JSON lines."""
+        """Write as JSON lines under a version-stamped header."""
         path = Path(path)
+        header = {
+            "format": TRACE_FORMAT_NAME,
+            "kind": "access",
+            "version": ACCESS_TRACE_VERSION,
+        }
         with path.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header, separators=(",", ":")))
+            fh.write("\n")
             for record in self.records:
                 fh.write(record.to_json())
                 fh.write("\n")
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Trace":
+        """Load a saved trace, tolerating blank/trailing lines.
+
+        Files written before version stamping (no header line) are
+        accepted; format violations raise :class:`TraceFormatError` with
+        the offending line number.
+        """
         path = Path(path)
         records = []
+        first_content_line = True
         with path.open("r", encoding="utf-8") as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                if first_content_line:
+                    first_content_line = False
+                    if (
+                        parse_header(
+                            line,
+                            kind="access",
+                            max_version=ACCESS_TRACE_VERSION,
+                        )
+                        is not None
+                    ):
+                        continue
+                try:
                     records.append(TraceRecord.from_json(line))
+                except TraceFormatError as exc:
+                    raise TraceFormatError(f"{path}:{lineno}: {exc}")
         return cls(records)
 
     # -- simple views ------------------------------------------------------------

@@ -8,9 +8,50 @@ The original figures are scatter plots and CDFs; terminals get tables.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-__all__ = ["render_table", "render_scatter", "format_cell"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.runner import RunResult
+
+__all__ = [
+    "PAIRED_MEASURES",
+    "paired_measure_rows",
+    "render_table",
+    "render_scatter",
+    "format_cell",
+]
+
+#: The measures a paired (no-prefetch vs prefetch) comparison reports,
+#: in display order: (row label, RunResult attribute).
+PAIRED_MEASURES: Tuple[Tuple[str, str], ...] = (
+    ("total time (ms)", "total_time"),
+    ("avg block read time (ms)", "avg_read_time"),
+    ("hit ratio", "hit_ratio"),
+    ("ready-hit fraction", "ready_hit_fraction"),
+    ("unready-hit fraction", "unready_hit_fraction"),
+    ("avg hit-wait, all hits (ms)", "avg_hit_wait_all"),
+    ("avg hit-wait, unready only (ms)", "avg_hit_wait"),
+    ("disk response (ms)", "disk_response_mean"),
+    ("sync wait mean (ms)", "sync_wait_mean"),
+    ("overrun mean (ms)", "overrun_mean"),
+    ("blocks prefetched", "blocks_prefetched"),
+    ("blocks demand fetched", "blocks_demand_fetched"),
+    ("prefetch action mean (ms)", "prefetch_action_mean"),
+)
+
+
+def paired_measure_rows(
+    base: "RunResult", prefetch: "RunResult"
+) -> List[Tuple[str, object, object]]:
+    """Rows for a paired-comparison table: (measure, no-prefetch, prefetch).
+
+    Shared by ``rapid-transit run`` and ``rapid-transit trace replay`` so
+    live and trace-driven comparisons read identically.
+    """
+    return [
+        (label, getattr(base, attr), getattr(prefetch, attr))
+        for label, attr in PAIRED_MEASURES
+    ]
 
 
 def format_cell(value) -> str:

@@ -1,0 +1,357 @@
+"""The portable, versioned replay-trace format.
+
+A *replay trace* is a complete description of one workload as the
+simulator would drive it: per-node timelines of block reads, the compute
+gap that follows each read, portion structure for the prefetch policies,
+and the synchronization visits each read triggered.  Unlike the
+observational :class:`repro.fs.trace.Trace` (which only records what the
+cache saw), a replay trace is *closed-loop replayable* — read latencies,
+hit waits, disk queueing, and barrier waits are not stored but re-emerge
+from the simulation when the trace is driven through the full stack.
+
+File layout (JSON lines)::
+
+    {"format":"rapid-transit-trace","kind":"replay","version":1,"meta":{…}}
+    {"node":0,"block":17,"compute":28.4,"portion":0,"sync_joins":0,…}
+    …
+
+The header's ``meta`` object is a :class:`TraceMeta`.  Records carry the
+replay-essential fields (``node``, ``block``, ``compute``, ``portion``,
+``sync_joins``) plus optional provenance from the recording run
+(``time``, ``outcome``, ``latency``, ``ref_index``).  Unknown fields are
+rejected with a clear :class:`~repro.fs.trace.TraceFormatError` so format
+drift never passes silently.
+
+Per-node replay order is the order of a node's records within the file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+import numpy as np
+
+from ..fs.trace import TRACE_FORMAT_NAME, TraceFormatError, parse_header
+from ..workload.patterns import AccessPattern
+
+__all__ = [
+    "REPLAY_TRACE_KIND",
+    "REPLAY_TRACE_VERSION",
+    "ReplayRecord",
+    "ReplayTrace",
+    "TraceMeta",
+]
+
+REPLAY_TRACE_KIND = "replay"
+REPLAY_TRACE_VERSION = 1
+
+#: Trace provenance classes.
+_SOURCES = ("recorded", "synthetic", "imported")
+
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """Header metadata: everything replay needs beyond the records."""
+
+    #: Human-readable workload name ("gw", "bursty", an import label, …).
+    workload: str
+    n_nodes: int
+    file_blocks: int
+    #: "recorded" | "synthetic" | "imported".
+    source: str = "recorded"
+    #: Seed of the producing run/generator (provenance; replay re-seeds).
+    seed: Optional[int] = None
+    #: May prefetch policies run ahead across portion boundaries?
+    crosses_portions: bool = False
+    #: Sync style of the producing run (provenance only: the joins
+    #: themselves are recorded per read).
+    sync_style: str = "none"
+    #: Mean compute gap of the producing run, ms (provenance only).
+    compute_mean: float = 0.0
+    #: Free-form provenance (e.g. importer node-id mapping).
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise TraceFormatError(
+                f"n_nodes must be positive, got {self.n_nodes}"
+            )
+        if self.file_blocks <= 0:
+            raise TraceFormatError(
+                f"file_blocks must be positive, got {self.file_blocks}"
+            )
+        if self.source not in _SOURCES:
+            raise TraceFormatError(
+                f"unknown trace source {self.source!r}; pick from {_SOURCES}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "TraceMeta":
+        if not isinstance(data, dict):
+            raise TraceFormatError(
+                f"trace meta must be a JSON object, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise TraceFormatError(
+                f"unknown trace meta field(s) {unknown}; "
+                f"known fields: {sorted(known)}"
+            )
+        missing = sorted({"workload", "n_nodes", "file_blocks"} - set(data))
+        if missing:
+            raise TraceFormatError(
+                f"trace meta missing required field(s) {missing}"
+            )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ReplayRecord:
+    """One replayable read: what to fetch, then how long to compute."""
+
+    node: int
+    block: int
+    #: Compute gap after this read completes, ms (CPU held).
+    compute: float = 0.0
+    #: Portion id; non-decreasing along each node's timeline.
+    portion: int = 0
+    #: Barrier visits owed after this read's compute gap.
+    sync_joins: int = 0
+
+    # Provenance from the recording run (not used by replay).
+    #: Completion time observed when recording (-1 if not recorded).
+    time: float = -1.0
+    #: "ready" | "unready" | "miss" | "" (unknown).
+    outcome: str = ""
+    #: Observed read latency, ms (-1 if not recorded).
+    latency: float = -1.0
+    #: Index in the originating pattern's reference string (-1 if n/a).
+    ref_index: int = -1
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "ReplayRecord":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"invalid JSON in replay record: {exc}")
+        if not isinstance(data, dict):
+            raise TraceFormatError(
+                f"replay record must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise TraceFormatError(
+                f"unknown replay record field(s) {unknown}; "
+                f"known fields: {sorted(known)}"
+            )
+        missing = sorted({"node", "block"} - set(data))
+        if missing:
+            raise TraceFormatError(
+                f"replay record missing required field(s) {missing}"
+            )
+        return cls(**data)
+
+
+class ReplayTrace:
+    """A replay trace: header metadata plus the record stream."""
+
+    def __init__(
+        self,
+        meta: TraceMeta,
+        records: Optional[Iterable[ReplayRecord]] = None,
+    ) -> None:
+        self.meta = meta
+        self.records: List[ReplayRecord] = list(records or [])
+
+    def append(self, record: ReplayRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[ReplayRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, idx: int) -> ReplayRecord:
+        return self.records[idx]
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the structural invariants replay depends on.
+
+        Raises :class:`TraceFormatError` on the first violation: node id
+        out of range, block outside the file, negative compute gap or
+        join count, or a node timeline whose portion ids decrease.
+        """
+        meta = self.meta
+        last_portion: List[Optional[int]] = [None] * meta.n_nodes
+        for i, rec in enumerate(self.records):
+            where = f"record {i}"
+            if not 0 <= rec.node < meta.n_nodes:
+                raise TraceFormatError(
+                    f"{where}: node {rec.node} outside 0..{meta.n_nodes - 1}"
+                )
+            if not 0 <= rec.block < meta.file_blocks:
+                raise TraceFormatError(
+                    f"{where}: block {rec.block} outside "
+                    f"0..{meta.file_blocks - 1}"
+                )
+            if rec.compute < 0:
+                raise TraceFormatError(
+                    f"{where}: negative compute gap {rec.compute}"
+                )
+            if rec.sync_joins < 0:
+                raise TraceFormatError(
+                    f"{where}: negative sync_joins {rec.sync_joins}"
+                )
+            prev = last_portion[rec.node]
+            if prev is not None and rec.portion < prev:
+                raise TraceFormatError(
+                    f"{where}: node {rec.node} portion id decreases "
+                    f"({prev} -> {rec.portion})"
+                )
+            last_portion[rec.node] = rec.portion
+        if not self.records:
+            raise TraceFormatError("trace holds no records")
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        header = {
+            "format": TRACE_FORMAT_NAME,
+            "kind": REPLAY_TRACE_KIND,
+            "version": REPLAY_TRACE_VERSION,
+            "meta": self.meta.to_dict(),
+        }
+        with path.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header, separators=(",", ":")))
+            fh.write("\n")
+            for record in self.records:
+                fh.write(record.to_json())
+                fh.write("\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ReplayTrace":
+        """Load and validate a replay trace.
+
+        Blank and trailing lines are tolerated; a missing or alien header,
+        unknown fields, and structural violations raise
+        :class:`TraceFormatError` naming the offending line.
+        """
+        path = Path(path)
+        meta: Optional[TraceMeta] = None
+        records: List[ReplayRecord] = []
+        with path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                if meta is None:
+                    if (
+                        parse_header(
+                            line,
+                            kind=REPLAY_TRACE_KIND,
+                            max_version=REPLAY_TRACE_VERSION,
+                        )
+                        is None
+                    ):
+                        raise TraceFormatError(
+                            f"{path}:{lineno}: not a replay trace (missing "
+                            f"'{TRACE_FORMAT_NAME}' header line)"
+                        )
+                    header = json.loads(line)
+                    try:
+                        meta = TraceMeta.from_dict(header.get("meta"))
+                    except TraceFormatError as exc:
+                        raise TraceFormatError(f"{path}:{lineno}: {exc}")
+                    continue
+                try:
+                    records.append(ReplayRecord.from_json(line))
+                except TraceFormatError as exc:
+                    raise TraceFormatError(f"{path}:{lineno}: {exc}")
+        if meta is None:
+            raise TraceFormatError(f"{path}: empty trace file (no header)")
+        trace = cls(meta, records)
+        trace.validate()
+        return trace
+
+    # -- replay views -----------------------------------------------------------
+
+    def timelines(self) -> List[List[ReplayRecord]]:
+        """Per-node replay timelines, in file order (index = node id)."""
+        out: List[List[ReplayRecord]] = [[] for _ in range(self.meta.n_nodes)]
+        for rec in self.records:
+            out[rec.node].append(rec)
+        return out
+
+    def to_pattern(self) -> AccessPattern:
+        """The trace as a local-scope :class:`AccessPattern`.
+
+        Each node's timeline becomes its private reference string, which
+        lets the whole prefetch-policy stack (oracle, OBL, portion,
+        global-seq) run unmodified over a replayed workload.
+        """
+        strings: List[np.ndarray] = []
+        portions: List[np.ndarray] = []
+        for timeline in self.timelines():
+            strings.append(
+                np.array([r.block for r in timeline], dtype=np.int64)
+            )
+            portions.append(
+                np.array([r.portion for r in timeline], dtype=np.int64)
+            )
+        return AccessPattern(
+            name=f"trace:{self.meta.workload}",
+            scope="local",
+            file_blocks=self.meta.file_blocks,
+            strings=strings,
+            portions=portions,
+            crosses_portions=self.meta.crosses_portions,
+        )
+
+    # -- summaries --------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Descriptive statistics for ``rapid-transit trace stats``."""
+        timelines = self.timelines()
+        blocks = [r.block for r in self.records]
+        computes = [r.compute for r in self.records]
+        n = len(self.records)
+        successor = 0
+        for timeline in timelines:
+            for prev, nxt in zip(timeline, timeline[1:]):
+                if nxt.block == prev.block + 1:
+                    successor += 1
+        denom = sum(max(0, len(t) - 1) for t in timelines)
+        counts: Dict[int, int] = {}
+        for b in blocks:
+            counts[b] = counts.get(b, 0) + 1
+        top = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+        return {
+            "workload": self.meta.workload,
+            "source": self.meta.source,
+            "n_records": n,
+            "n_nodes": self.meta.n_nodes,
+            "file_blocks": self.meta.file_blocks,
+            "distinct_blocks": len(counts),
+            "reads_per_node": [len(t) for t in timelines],
+            "compute_total": sum(computes),
+            "compute_mean": sum(computes) / n if n else 0.0,
+            "sync_joins": sum(r.sync_joins for r in self.records),
+            "sequentiality": successor / denom if denom else 0.0,
+            "hot_blocks": top,
+        }

@@ -1,0 +1,187 @@
+"""Record a replayable trace from a live simulation run.
+
+The recorder taps two existing seams, both passive (no events, no
+randomness — a recorded run's event schedule is bit-for-bit identical to
+an unrecorded one):
+
+* :attr:`repro.fs.fileserver.FileServer.read_observer` — fires as each
+  demand read completes, giving the observed outcome/latency/time;
+* the :class:`~repro.workload.application.TimelineObserver` hooks inside
+  the application loop — giving the claimed reference, the compute gap
+  actually drawn, and the number of barrier visits that followed.
+
+Per node the two interleave strictly (one outstanding read per node:
+completion, then claim bookkeeping, then compute, then joins), so merging
+them is a constant-space pairing, not a post-hoc join.
+
+:func:`record_run` is the entry point: run any :class:`ExperimentConfig`
+and get back the usual :class:`~repro.experiments.runner.RunResult` plus
+the :class:`~repro.traces.format.ReplayTrace` that reproduces it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..experiments.runner import (
+    RunInstrumentation,
+    RunResult,
+    materialize_pattern,
+    run_materialized,
+)
+from ..fs.trace import TraceFormatError
+from ..sim.rng import RandomStreams
+from ..workload.application import application
+from .format import ReplayRecord, ReplayTrace, TraceMeta
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.config import ExperimentConfig
+    from ..sim.core import Environment
+    from ..workload.patterns import AccessPattern
+
+__all__ = ["TraceRecorder", "record_run"]
+
+
+class TraceRecorder:
+    """Accumulates replay records while a run executes.
+
+    One recorder records one run; pass :meth:`app_factory` to
+    :func:`~repro.experiments.runner.run_materialized` and call
+    :meth:`finish` after the run completes.
+    """
+
+    def __init__(self, meta: TraceMeta) -> None:
+        self.meta = meta
+        #: Completed records in completion order (the merged timeline).
+        self._records: List[ReplayRecord] = []
+        #: Per-node read completion not yet claimed by the application.
+        self._completed: Dict[int, Tuple[int, str, float, float]] = {}
+        #: Per-node index of the record awaiting compute/sync annotation.
+        self._open: Dict[int, int] = {}
+        #: Simulation environment, captured when the first app is wired.
+        self._env: Optional["Environment"] = None
+
+    # -- FileServer.read_observer ------------------------------------------------
+
+    def on_read_complete(
+        self,
+        node_id: int,
+        block: int,
+        outcome: str,
+        latency: float,
+        ref_index: int,
+    ) -> None:
+        now = self._env.now if self._env is not None else -1.0
+        self._completed[node_id] = (block, outcome, latency, now)
+
+    # -- TimelineObserver --------------------------------------------------------
+
+    def on_read(
+        self, node_id: int, ref_index: int, block: int, portion: int
+    ) -> None:
+        pending = self._completed.pop(node_id, None)
+        if pending is None:
+            raise TraceFormatError(
+                f"recorder saw a claim for node {node_id} with no completed "
+                "read (is the FileServer observer attached?)"
+            )
+        seen_block, outcome, latency, time = pending
+        if seen_block != block:
+            raise TraceFormatError(
+                f"recorder block mismatch on node {node_id}: read {seen_block}"
+                f" but application claimed {block}"
+            )
+        self._open[node_id] = len(self._records)
+        self._records.append(
+            ReplayRecord(
+                node=node_id,
+                block=block,
+                compute=0.0,
+                portion=portion,
+                sync_joins=0,
+                time=time,
+                outcome=outcome,
+                latency=latency,
+                ref_index=ref_index,
+            )
+        )
+
+    def _amend(self, node_id: int, **changes: object) -> None:
+        idx = self._open.get(node_id)
+        if idx is None:
+            raise TraceFormatError(
+                f"recorder annotation for node {node_id} with no open record"
+            )
+        rec = self._records[idx]
+        self._records[idx] = dataclasses.replace(rec, **changes)  # type: ignore[arg-type]
+
+    def on_compute(self, node_id: int, delay: float) -> None:
+        self._amend(node_id, compute=delay)
+
+    def on_sync_joins(self, node_id: int, count: int) -> None:
+        self._amend(node_id, sync_joins=count)
+
+    # -- wiring ------------------------------------------------------------------
+
+    def app_factory(
+        self, node, server, tracker, sync, pattern, rng, config
+    ):
+        """Drop-in ``app_factory`` for ``run_materialized``: attaches the
+        file-server observer and wraps the standard application."""
+        self._env = node.env
+        server.read_observer = self.on_read_complete
+        return application(
+            node,
+            server,
+            tracker,
+            sync,
+            pattern,
+            rng,
+            config.compute_mean,
+            observer=self,
+        )
+
+    def finish(self) -> ReplayTrace:
+        """Seal and validate the recorded trace."""
+        if self._completed:
+            raise TraceFormatError(
+                "recorder finished with unclaimed read completions for "
+                f"nodes {sorted(self._completed)}"
+            )
+        trace = ReplayTrace(self.meta, self._records)
+        trace.validate()
+        return trace
+
+
+def record_run(
+    config: "ExperimentConfig",
+    instrument: Optional[RunInstrumentation] = None,
+) -> Tuple[RunResult, ReplayTrace]:
+    """Run ``config`` while recording a replayable trace.
+
+    Returns ``(result, trace)``.  The run itself is unperturbed: the same
+    seed without a recorder executes the identical event schedule.
+    """
+    rng = RandomStreams(config.seed)
+    pattern: "AccessPattern" = materialize_pattern(config, rng)
+    meta = TraceMeta(
+        workload=config.pattern,
+        n_nodes=config.n_nodes,
+        file_blocks=config.file_blocks,
+        source="recorded",
+        seed=config.seed,
+        crosses_portions=pattern.crosses_portions,
+        sync_style=config.sync_style,
+        compute_mean=config.compute_mean,
+        extra={"label": config.label, "prefetch": config.prefetch},
+    )
+    recorder = TraceRecorder(meta)
+    result = run_materialized(
+        pattern,
+        config,
+        rng,
+        instrument=instrument,
+        app_factory=recorder.app_factory,
+    )
+    return result, recorder.finish()

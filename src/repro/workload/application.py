@@ -9,7 +9,7 @@ prefetch daemon its idle windows.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional, Protocol
 
 from ..machine.node import IdleKind, Node
 from ..sim.rng import RandomStreams
@@ -20,7 +20,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .progress import ProgressTracker
     from .synchronization import SyncCoordinator
 
-__all__ = ["application"]
+__all__ = ["TimelineObserver", "application"]
+
+
+class TimelineObserver(Protocol):
+    """Passive per-read callbacks for trace recording.
+
+    Implementations must not create events or draw randomness: the
+    observer sees the run, it never steers it (the recorded and
+    unrecorded executions of one seed are bit-for-bit identical).
+    """
+
+    def on_read(
+        self, node_id: int, ref_index: int, block: int, portion: int
+    ) -> None:
+        """A demand read of ``block`` just completed."""
+
+    def on_compute(self, node_id: int, delay: float) -> None:
+        """The compute gap drawn for the read just observed."""
+
+    def on_sync_joins(self, node_id: int, count: int) -> None:
+        """How many barrier visits followed that read's compute gap."""
 
 
 def application(
@@ -31,6 +51,7 @@ def application(
     pattern: "AccessPattern",
     rng: RandomStreams,
     compute_mean: float,
+    observer: Optional[TimelineObserver] = None,
 ):
     """Generator for one node's user process.
 
@@ -39,6 +60,9 @@ def application(
     block → compute Exp(``compute_mean``) ms → settle any owed
     synchronization visits.  Departs the barrier and exits when the
     relevant string is exhausted.
+
+    ``observer`` (see :class:`TimelineObserver`) feeds the trace recorder
+    in :mod:`repro.traces.recorder`.
     """
     env = node.env
     node_id = node.node_id
@@ -55,9 +79,13 @@ def application(
         cpu = yield from server.read_block(node, cpu, block, idx)
         tracker.mark_consumed(node_id, idx)
         portion_id = int(portions[idx])
+        if observer is not None:
+            observer.on_read(node_id, idx, block, portion_id)
 
         # Simulated per-block computation, holding the CPU.
         delay = rng.exponential(f"compute/node{node_id}", compute_mean)
+        if observer is not None:
+            observer.on_compute(node_id, delay)
         if delay > 0.0:
             yield env.timeout(delay)
 
@@ -67,9 +95,13 @@ def application(
         ):
             sync.note_portion_complete(node_id)
 
+        joins = 0
         while sync.owes(node_id):
             event = sync.join(node_id)
+            joins += 1
             _, cpu = yield from node.idle_wait(cpu, event, IdleKind.SYNC)
+        if observer is not None:
+            observer.on_sync_joins(node_id, joins)
 
     sync.depart(node_id)
     node.release_cpu(cpu)

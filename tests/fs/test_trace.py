@@ -1,8 +1,11 @@
 """Tests for access-trace recording and persistence."""
 
+import json
+
 import pytest
 
 from repro.fs import Trace, TraceRecord
+from repro.fs.trace import ACCESS_TRACE_VERSION, TraceFormatError
 
 from ..helpers import build_stack, user_read_many
 
@@ -54,6 +57,87 @@ def test_trace_save_load(tmp_path):
     Trace(records).save(path)
     loaded = Trace.load(path)
     assert loaded.records == records
+
+
+def test_save_stamps_version_header(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    Trace([
+        TraceRecord(time=0.0, node=0, block=1, outcome="miss", latency=1.0)
+    ]).save(path)
+    header = json.loads(path.read_text().splitlines()[0])
+    assert header == {
+        "format": "rapid-transit-trace",
+        "kind": "access",
+        "version": ACCESS_TRACE_VERSION,
+    }
+
+
+def test_load_accepts_headerless_legacy_file(tmp_path):
+    record = TraceRecord(
+        time=0.0, node=0, block=1, outcome="miss", latency=1.0
+    )
+    path = tmp_path / "legacy.jsonl"
+    path.write_text(record.to_json() + "\n")
+    assert Trace.load(path).records == [record]
+
+
+def test_load_tolerates_blank_and_trailing_lines(tmp_path):
+    record = TraceRecord(
+        time=0.0, node=0, block=1, outcome="miss", latency=1.0
+    )
+    path = tmp_path / "trace.jsonl"
+    path.write_text("\n" + record.to_json() + "\n\n   \n")
+    assert Trace.load(path).records == [record]
+
+
+def test_load_rejects_unknown_field_with_line_number(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text(
+        '{"time":0,"node":0,"block":1,"outcome":"miss","latency":1,'
+        '"sparkle":2}\n'
+    )
+    with pytest.raises(TraceFormatError) as err:
+        Trace.load(path)
+    assert "sparkle" in str(err.value)
+    assert ":1:" in str(err.value)
+
+
+def test_load_rejects_missing_field(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"time":0,"node":0}\n')
+    with pytest.raises(TraceFormatError, match="missing required"):
+        Trace.load(path)
+
+
+def test_load_rejects_invalid_json(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"format":"rapid-transit-trace","kind":"access",'
+                    '"version":1}\n{not json\n')
+    with pytest.raises(TraceFormatError, match=":2:"):
+        Trace.load(path)
+
+
+def test_load_rejects_wrong_kind(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text(
+        '{"format":"rapid-transit-trace","kind":"replay","version":1}\n'
+    )
+    with pytest.raises(TraceFormatError, match="expected 'access'"):
+        Trace.load(path)
+
+
+def test_load_rejects_future_version(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text(
+        '{"format":"rapid-transit-trace","kind":"access","version":42}\n'
+    )
+    with pytest.raises(TraceFormatError, match="version"):
+        Trace.load(path)
+
+
+def test_from_json_rejects_non_object():
+    with pytest.raises(TraceFormatError, match="JSON object"):
+        TraceRecord.from_json("[1, 2]")
 
 
 def test_cache_records_trace():
