@@ -33,7 +33,7 @@ __all__ = [
 #: Directory names whose contents drive simulation ordering and therefore
 #: fall under the strictest determinism rules.
 SIM_CRITICAL_PARTS = frozenset(
-    {"sim", "fs", "machine", "prefetch", "workload", "traces"}
+    {"sim", "fs", "machine", "prefetch", "workload", "traces", "faults"}
 )
 
 _DIRECTIVE_RE = re.compile(r"#\s*simlint:\s*([a-z\-,\s]+)")

@@ -15,6 +15,12 @@ Subcommands:
 * ``audit``   — determinism audit: run one configuration twice (prefetch
   on and off), compare event-trace hashes, and report same-instant
   resource collisions and invariant sweeps (see docs/analysis.md);
+* ``faults``  — fault-injection plans (see docs/faults.md):
+  ``faults make`` composes a plan from ``--fail-stop``/``--fail-slow``/
+  ``--transient``/``--hot-spot`` specs plus resilience knobs and writes
+  it as JSON; ``faults show`` pretty-prints a saved plan and its digest.
+  ``run``, ``audit``, ``trace record``, and ``trace replay`` all accept
+  ``--faults plan.json`` to execute under that plan;
 * ``trace``   — the trace lifecycle (see docs/traces.md):
   ``trace record`` captures a replayable trace from a live run,
   ``trace synth`` generates non-paper workloads (bursty, phased, skewed,
@@ -39,6 +45,8 @@ from .experiments import (
     ablation_file_layout,
     ablation_numa_layout,
     ablation_replacement,
+    chaos_fail_stop,
+    chaos_prefetch_under_faults,
     ext_disk_sensitivity,
     ext_hybrid_patterns,
     fig1_uneven_benefit,
@@ -66,7 +74,21 @@ from .experiments import (
     vf_pattern_breakdown,
 )
 from .experiments.figures import FigureData
-from .metrics.report import paired_measure_rows, render_table
+from .faults.plan import (
+    FailSlow,
+    FailStop,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    HotSpot,
+    ResiliencePolicy,
+    TransientErrors,
+)
+from .metrics.report import (
+    fault_measure_rows,
+    paired_measure_rows,
+    render_table,
+)
 from .workload.patterns import PATTERN_NAMES
 from .workload.synchronization import SYNC_STYLES
 
@@ -105,6 +127,8 @@ _STANDALONE_FIGURES = {
     "abl-numa": ablation_numa_layout,
     "abl-replacement": ablation_replacement,
     "abl-layout": ablation_file_layout,
+    "chaos": chaos_prefetch_under_faults,
+    "chaos-failstop": chaos_fail_stop,
 }
 
 FIGURE_IDS = sorted(
@@ -144,7 +168,30 @@ def _print_audit(report) -> None:
     )
 
 
+def _load_faults(args: argparse.Namespace) -> Optional["FaultPlan"]:
+    """Load ``--faults plan.json`` when given (None otherwise)."""
+    path = getattr(args, "faults", None)
+    if path is None:
+        return None
+    return FaultPlan.load(path)
+
+
+def _print_fault_summary(base, pf) -> None:
+    print()
+    print(
+        render_table(
+            ["fault measure", "no-prefetch", "prefetch"],
+            fault_measure_rows(base, pf),
+            title=f"degraded-mode measures (plan digest "
+            f"{pf.config.faults.digest})",
+        )
+    )
+    print(f"fault-event digests: no-prefetch {base.fault_digest}, "
+          f"prefetch {pf.fault_digest}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    faults = _load_faults(args)
     config = ExperimentConfig(
         pattern=args.pattern,
         sync_style=args.sync,
@@ -152,6 +199,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         policy=args.policy,
         lead=args.lead,
+        n_nodes=args.nodes,
+        n_disks=args.disks,
+        file_blocks=args.file_blocks,
+        total_reads=args.reads,
+        faults=faults,
     )
     audits = []
     if args.audit:
@@ -172,6 +224,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{config.intensity} (seed {config.seed})",
         )
     )
+    if faults is not None:
+        _print_fault_summary(base, pf)
     for report in audits:
         _print_audit(report)
     return 0
@@ -190,6 +244,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         n_disks=args.disks,
         file_blocks=args.file_blocks,
         total_reads=args.reads,
+        faults=_load_faults(args),
     )
     ok = True
     for cell in (config, config.paired_baseline()):
@@ -350,6 +405,7 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
         n_disks=args.disks,
         file_blocks=args.file_blocks,
         total_reads=args.reads,
+        faults=_load_faults(args),
     )
     result, trace = record_run(config)
     trace.save(args.output)
@@ -365,10 +421,12 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     from .traces import replay_twice_and_diff
 
     trace = ReplayTrace.load(args.trace)
+    faults = _load_faults(args)
     base = ExperimentConfig(
         policy=args.policy,
         lead=args.lead,
         n_disks=args.disks if args.disks is not None else trace.meta.n_nodes,
+        faults=faults,
     )
     config = replay_config(trace, base)
     if args.audit:
@@ -380,15 +438,26 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
         print("replay determinism audit:", "PASS" if ok else "FAIL")
         return 0 if ok else 1
     pf, baseline = replay_pair(trace, config)
+    fault_tag = (
+        f", faults {faults.digest}" if faults is not None else ""
+    )
     print(
         render_table(
             ["measure", "no-prefetch", "prefetch"],
             paired_measure_rows(baseline, pf),
             title=f"replay of {args.trace} "
             f"({trace.meta.source} '{trace.meta.workload}', "
-            f"{trace.meta.n_nodes} nodes, policy {args.policy})",
+            f"{trace.meta.n_nodes} nodes, policy {args.policy}"
+            f"{fault_tag})",
         )
     )
+    if faults is not None:
+        _print_fault_summary(baseline, pf)
+    recorded_digest = trace.meta.extra.get("fault_plan_digest")
+    if recorded_digest:
+        print(
+            f"note: trace was recorded under fault plan {recorded_digest}"
+        )
     return 0
 
 
@@ -470,6 +539,120 @@ def _cmd_trace_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fault_spec(kind: str, raw: str) -> FaultSpec:
+    """One ``--fail-stop``/``--fail-slow``/``--transient``/``--hot-spot``
+    value: colon-separated numbers, disk id first (see ``faults make -h``).
+    """
+    parts = raw.split(":")
+    try:
+        numbers = [float(p) for p in parts]
+    except ValueError:
+        raise FaultPlanError(f"--{kind} {raw!r}: expected numbers") from None
+    if not numbers or not numbers[0].is_integer():
+        raise FaultPlanError(f"--{kind} {raw!r}: first field is the disk id")
+    disk = int(numbers[0])
+    rest = numbers[1:]
+
+    def window(values: List[float]) -> dict:
+        out: dict = {}
+        if len(values) >= 1:
+            out["start"] = values[0]
+        if len(values) >= 2:
+            out["end"] = values[1]
+        if len(values) > 2:
+            raise FaultPlanError(f"--{kind} {raw!r}: too many fields")
+        return out
+
+    if kind == "fail-stop":
+        if not 1 <= len(rest) <= 2:
+            raise FaultPlanError(
+                f"--fail-stop {raw!r}: want DISK:AT[:RECOVER]"
+            )
+        return FailStop(
+            disk=disk,
+            at=rest[0],
+            recover=rest[1] if len(rest) == 2 else None,
+        )
+    if kind == "fail-slow":
+        if not rest:
+            raise FaultPlanError(
+                f"--fail-slow {raw!r}: want DISK:FACTOR[:START[:END]]"
+            )
+        return FailSlow(disk=disk, factor=rest[0], **window(rest[1:]))
+    if kind == "transient":
+        if not rest:
+            raise FaultPlanError(
+                f"--transient {raw!r}: want DISK:PROB[:START[:END]]"
+            )
+        return TransientErrors(
+            disk=disk, probability=rest[0], **window(rest[1:])
+        )
+    if kind == "hot-spot":
+        if not rest:
+            raise FaultPlanError(
+                f"--hot-spot {raw!r}: want DISK:ALPHA[:START[:END]]"
+            )
+        return HotSpot(disk=disk, alpha=rest[0], **window(rest[1:]))
+    raise FaultPlanError(f"unknown fault kind {kind!r}")
+
+
+def _cmd_faults_make(args: argparse.Namespace) -> int:
+    try:
+        specs: List[FaultSpec] = []
+        for kind, values in (
+            ("fail-stop", args.fail_stop),
+            ("fail-slow", args.fail_slow),
+            ("transient", args.transient),
+            ("hot-spot", args.hot_spot),
+        ):
+            for raw in values:
+                specs.append(_parse_fault_spec(kind, raw))
+        if not specs:
+            print("error: no faults given (see --fail-stop etc.)",
+                  file=sys.stderr)
+            return 2
+        plan = FaultPlan(
+            faults=tuple(specs),
+            resilience=ResiliencePolicy(
+                max_retries=args.max_retries,
+                timeout=args.timeout,
+                backoff_base=args.backoff_base,
+                backoff_factor=args.backoff_factor,
+                backoff_max=args.backoff_max,
+                backoff_jitter=args.backoff_jitter,
+                breaker_threshold=args.breaker_threshold,
+                breaker_cooldown=args.breaker_cooldown,
+            ),
+            name=args.name,
+        )
+    except (FaultPlanError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    plan.save(args.output)
+    print(f"wrote {args.output} ({len(plan.faults)} faults):")
+    for line in plan.describe():
+        print(f"  {line}")
+    print(f"digest {plan.digest}")
+    return 0
+
+
+def _cmd_faults_show(args: argparse.Namespace) -> int:
+    plan = FaultPlan.load(args.plan)
+    name = f" '{plan.name}'" if plan.name else ""
+    print(f"fault plan{name}: {len(plan.faults)} faults")
+    for line in plan.describe():
+        print(f"  {line}")
+    r = plan.resilience
+    print(
+        f"resilience: max_retries={r.max_retries}, timeout={r.timeout}, "
+        f"backoff {r.backoff_base}x{r.backoff_factor} (max {r.backoff_max}, "
+        f"jitter {r.backoff_jitter}), breaker threshold "
+        f"{r.breaker_threshold} / cooldown {r.breaker_cooldown}"
+    )
+    print(f"digest {plan.digest}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rapid-transit",
@@ -491,6 +674,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under the determinism auditor: event-trace hashing, "
         "race detection, periodic invariant sweeps",
     )
+    p_run.add_argument("--nodes", type=int, default=20)
+    p_run.add_argument("--disks", type=int, default=20)
+    p_run.add_argument("--file-blocks", type=int, default=2000)
+    p_run.add_argument("--reads", type=int, default=None,
+                       help="total reads (default: the paper's 2000)")
+    p_run.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="fault plan to inject (see 'faults make')",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_audit = sub.add_parser(
@@ -508,6 +700,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("--disks", type=int, default=4)
     p_audit.add_argument("--file-blocks", type=int, default=400)
     p_audit.add_argument("--reads", type=int, default=400)
+    p_audit.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="audit determinism of a faulted run",
+    )
     p_audit.set_defaults(func=_cmd_audit)
 
     p_suite = sub.add_parser("suite", help="run the full paper mix")
@@ -575,6 +771,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--file-blocks", type=int, default=2000)
     p_rec.add_argument("--reads", type=int, default=None,
                        help="total reads (default: the paper's 2000)")
+    p_rec.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="record under a fault plan (digest lands in the trace "
+        "header as provenance)",
+    )
     p_rec.set_defaults(func=_cmd_trace_record)
 
     p_repl = trace_sub.add_parser(
@@ -595,6 +796,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--audit", action="store_true",
         help="replay twice under the determinism auditor and diff "
         "event-trace hashes (exit 1 on divergence)",
+    )
+    p_repl.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="replay under a fault plan (degraded-mode what-if)",
     )
     p_repl.set_defaults(func=_cmd_trace_replay)
 
@@ -635,6 +840,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("trace", help="replay trace file")
     p_stats.set_defaults(func=_cmd_trace_stats)
+
+    p_faults = sub.add_parser(
+        "faults", help="compose and inspect fault-injection plans"
+    )
+    faults_sub = p_faults.add_subparsers(
+        dest="faults_command", required=True
+    )
+
+    p_fmake = faults_sub.add_parser(
+        "make", help="compose a fault plan and write it as JSON"
+    )
+    p_fmake.add_argument("-o", "--output", required=True,
+                         help="plan file to write (JSON)")
+    p_fmake.add_argument("--name", default="", help="plan name")
+    p_fmake.add_argument(
+        "--fail-stop", action="append", default=[], metavar="D:AT[:REC]",
+        help="disk D dies at time AT ms (recovering at REC)",
+    )
+    p_fmake.add_argument(
+        "--fail-slow", action="append", default=[],
+        metavar="D:FACTOR[:START[:END]]",
+        help="disk D serves FACTOR x slower over the window",
+    )
+    p_fmake.add_argument(
+        "--transient", action="append", default=[],
+        metavar="D:PROB[:START[:END]]",
+        help="disk D's transfers complete with an error with "
+        "probability PROB over the window",
+    )
+    p_fmake.add_argument(
+        "--hot-spot", action="append", default=[],
+        metavar="D:ALPHA[:START[:END]]",
+        help="disk D slows by (1 + ALPHA x queue depth) over the window",
+    )
+    p_fmake.add_argument("--max-retries", type=int, default=4)
+    p_fmake.add_argument(
+        "--timeout", type=float, default=0.0,
+        help="per-request timeout ms (0 disables; required to survive "
+        "an unrecovered fail-stop)",
+    )
+    p_fmake.add_argument("--backoff-base", type=float, default=5.0)
+    p_fmake.add_argument("--backoff-factor", type=float, default=2.0)
+    p_fmake.add_argument("--backoff-max", type=float, default=200.0)
+    p_fmake.add_argument("--backoff-jitter", type=float, default=0.25)
+    p_fmake.add_argument("--breaker-threshold", type=int, default=3)
+    p_fmake.add_argument("--breaker-cooldown", type=float, default=500.0)
+    p_fmake.set_defaults(func=_cmd_faults_make)
+
+    p_fshow = faults_sub.add_parser(
+        "show", help="pretty-print a saved fault plan and its digest"
+    )
+    p_fshow.add_argument("plan", help="plan file (JSON)")
+    p_fshow.set_defaults(func=_cmd_faults_show)
     return parser
 
 

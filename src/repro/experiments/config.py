@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
+from ..faults.plan import FaultPlan
 from ..machine.costs import CostModel
 from ..workload.patterns import PATTERN_NAMES
 from ..workload.synchronization import SYNC_STYLES
@@ -80,6 +81,10 @@ class ExperimentConfig:
     per_proc_k: int = 10
     total_k: int = 200
 
+    # Fault injection (None = healthy machine).  A plan both schedules
+    # the faults and carries the resilience policy used to survive them.
+    faults: Optional[FaultPlan] = None
+
     # Reproducibility / diagnostics.
     seed: int = 1
     record_trace: bool = True
@@ -111,6 +116,8 @@ class ExperimentConfig:
             raise ValueError("portion_length must be positive")
         if self.portion_stride <= 0:
             raise ValueError("portion_stride must be positive")
+        if self.faults is not None:
+            self.faults.validate_for(self.n_disks)
 
     @property
     def effective_total_reads(self) -> int:
@@ -134,9 +141,12 @@ class ExperimentConfig:
             if self.prefetch
             else "no-prefetch"
         )
+        fault_tag = (
+            f"/faults:{self.faults.digest}" if self.faults is not None else ""
+        )
         return (
             f"{self.pattern}/{self.sync_style}/{self.intensity}/{pf}"
-            f"/seed{self.seed}"
+            f"/seed{self.seed}{fault_tag}"
         )
 
     def with_overrides(self, **kwargs: Any) -> "ExperimentConfig":

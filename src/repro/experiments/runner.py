@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Tuple
 
+from ..faults.events import FaultEventLog
+from ..faults.layer import ResilienceLayer
 from ..fs.cache import BlockCache, CacheConfig
 from ..fs.file import File
 from ..fs.fileserver import FileServer
@@ -111,9 +113,30 @@ class RunResult:
     # Idle accounting per kind: (necessary mean, actual mean, count).
     idle_by_kind: Dict[str, Tuple[float, float, int]]
 
+    # Demand-read latency tail (always populated; chiefly interesting
+    # under faults).
+    read_p50: float = 0.0
+    read_p99: float = 0.0
+
+    # Fault injection (all zero / empty on healthy runs).
+    disk_errors: int = 0
+    disk_retries: int = 0
+    disk_timeouts: int = 0
+    breaker_opens: int = 0
+    #: Total time (ms) during which at least one disk was degraded
+    #: (faulted window or open breaker).
+    time_degraded: float = 0.0
+    #: Digest of the resilience layer's ordered fault-event log — equal
+    #: digests mean identical fault/retry/breaker histories.
+    fault_digest: str = ""
+    errors_by_disk: Dict[int, int] = field(default_factory=dict)
+    retries_by_disk: Dict[int, int] = field(default_factory=dict)
+    timeouts_by_disk: Dict[int, int] = field(default_factory=dict)
+
     # Raw handles (not serialized in reports).
-    metrics: RunMetrics = field(repr=False)
+    metrics: RunMetrics = field(repr=False, default=None)  # type: ignore[assignment]
     trace: Optional[Trace] = field(repr=False, default=None)
+    fault_events: Optional[FaultEventLog] = field(repr=False, default=None)
 
     @property
     def label(self) -> str:
@@ -217,6 +240,10 @@ def run_materialized(
         metrics,
     )
     server = FileServer(cache)
+    resilience: Optional[ResilienceLayer] = None
+    if config.faults is not None:
+        resilience = ResilienceLayer(env, config.faults, machine, rng, metrics)
+        cache.resilience = resilience
     if sync_factory is not None:
         sync = sync_factory(env, pattern)
     else:
@@ -328,8 +355,28 @@ def run_materialized(
         per_node_read_means=metrics.per_node_mean_read_times(),
         benefit_imbalance=metrics.benefit_imbalance(),
         idle_by_kind=idle_by_kind,
+        read_p50=metrics.read_times.percentile(50.0)
+        if metrics.read_times.count
+        else 0.0,
+        read_p99=metrics.read_times.percentile(99.0)
+        if metrics.read_times.count
+        else 0.0,
+        disk_errors=metrics.total_disk_errors,
+        disk_retries=metrics.total_retries,
+        disk_timeouts=metrics.total_timeouts,
+        breaker_opens=metrics.breaker_opens,
+        time_degraded=resilience.time_in_degraded(metrics.end_time)
+        if resilience is not None and metrics.end_time is not None
+        else 0.0,
+        fault_digest=resilience.log.hexdigest()
+        if resilience is not None
+        else "",
+        errors_by_disk=dict(metrics.disk_errors),
+        retries_by_disk=dict(metrics.disk_retries),
+        timeouts_by_disk=dict(metrics.disk_timeouts),
         metrics=metrics,
         trace=cache.trace,
+        fault_events=resilience.log if resilience is not None else None,
     )
 
 

@@ -1,0 +1,47 @@
+"""Deterministic fault injection and resilience for the simulated disks.
+
+See ``docs/faults.md``.  Public surface:
+
+* :class:`FaultPlan` and the fault specs (declarative, JSON-round-trip,
+  content-digested);
+* :class:`FaultyDiskModel` — decorator injecting faults into any
+  :class:`~repro.machine.disk.DiskModel`;
+* :class:`ResilienceLayer` — retry/timeout/backoff + per-disk circuit
+  breakers, wired in by the experiment runner;
+* :class:`ReadFailedError` — what the application sees when every retry
+  is exhausted.
+"""
+
+from .breaker import BreakerState, CircuitBreaker
+from .errors import FaultPlanError, ReadFailedError
+from .events import FaultEvent, FaultEventLog
+from .layer import ResilienceLayer
+from .model import DiskFaultState, FaultyDiskModel
+from .plan import (
+    FailSlow,
+    FailStop,
+    FaultPlan,
+    FaultSpec,
+    HotSpot,
+    ResiliencePolicy,
+    TransientErrors,
+)
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "DiskFaultState",
+    "FailSlow",
+    "FailStop",
+    "FaultEvent",
+    "FaultEventLog",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "FaultyDiskModel",
+    "HotSpot",
+    "ReadFailedError",
+    "ResilienceLayer",
+    "ResiliencePolicy",
+    "TransientErrors",
+]

@@ -1,0 +1,133 @@
+"""Per-disk circuit breaker gating prefetch issuance.
+
+The breaker watches *every* result the resilience layer sees for its
+disk — demand and prefetch alike — but only gates prefetch: demand reads
+must always be attempted (the application cannot proceed without them),
+while speculative prefetch traffic against a sick disk merely lengthens
+its queue and starves demand reads of service.
+
+State machine (the classic three states):
+
+* ``CLOSED`` — healthy; ``breaker_threshold`` *consecutive* failures
+  trip it;
+* ``OPEN`` — prefetch suspended for ``breaker_cooldown`` ms;
+* ``HALF_OPEN`` — cooldown elapsed; probes are allowed through.  Any
+  success (demand or probe) closes the breaker, any failure reopens it
+  with a fresh cooldown.
+
+Transitions happen lazily inside :meth:`CircuitBreaker.allow` /
+``record_*`` calls, which occur at deterministic points of the event
+schedule — no timer processes, so the breaker adds no events of its own.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from .events import FaultEventLog
+from .plan import ResiliencePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..metrics.collector import RunMetrics
+    from ..sim.core import Environment
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Suspends prefetching to one disk after repeated failures."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        disk_id: int,
+        policy: ResiliencePolicy,
+        log: FaultEventLog,
+        metrics: "RunMetrics",
+    ) -> None:
+        self.env = env
+        self.disk_id = disk_id
+        self.policy = policy
+        self.log = log
+        self.metrics = metrics
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        #: Times the breaker tripped (CLOSED/HALF_OPEN -> OPEN).
+        self.opened_count = 0
+        self._open_until = 0.0
+        self._degraded_since: Optional[float] = None
+        self._intervals: List[Tuple[float, float]] = []
+
+    # -- gating ------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a prefetch be issued to this disk right now?
+
+        In ``OPEN`` past the cooldown this transitions to ``HALF_OPEN``
+        (lazy timer) and admits the probe.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if (
+            self.state is BreakerState.OPEN
+            and self.env.now >= self._open_until
+        ):
+            self._transition(BreakerState.HALF_OPEN)
+            return True
+        return self.state is BreakerState.HALF_OPEN
+
+    # -- result feed -------------------------------------------------------
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._open()
+        elif (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.policy.breaker_threshold
+        ):
+            self._open()
+
+    # -- internals ---------------------------------------------------------
+
+    def _open(self) -> None:
+        self._open_until = self.env.now + self.policy.breaker_cooldown
+        self.opened_count += 1
+        self._transition(BreakerState.OPEN)
+
+    def _transition(self, new: BreakerState) -> None:
+        old = self.state
+        if old is new:
+            return
+        self.state = new
+        if old is BreakerState.CLOSED:
+            self._degraded_since = self.env.now
+        if new is BreakerState.CLOSED and self._degraded_since is not None:
+            self._intervals.append((self._degraded_since, self.env.now))
+            self._degraded_since = None
+        self.log.record(
+            "breaker", self.disk_id, detail=f"{old.value}->{new.value}"
+        )
+        self.metrics.record_breaker_transition(
+            self.disk_id, old.value, new.value
+        )
+
+    def open_intervals(self, end: float) -> List[Tuple[float, float]]:
+        """Spans during which the breaker was not CLOSED, closing any
+        still-open span at ``end`` (run end)."""
+        out = list(self._intervals)
+        if self._degraded_since is not None and end > self._degraded_since:
+            out.append((self._degraded_since, end))
+        return out

@@ -1,0 +1,23 @@
+"""Exception types for the fault-injection subsystem.
+
+Kept dependency-free so that any layer (``fs``, ``machine``,
+``experiments``) can import them without creating cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FaultPlanError", "ReadFailedError"]
+
+
+class FaultPlanError(ValueError):
+    """A fault plan is malformed: bad JSON shape, unknown fault kind,
+    out-of-range parameters, or a disk index outside the machine."""
+
+
+class ReadFailedError(RuntimeError):
+    """A block read failed permanently: every retry the resilience policy
+    allows was spent and the disk still would not deliver the block.
+
+    Raised *into* any process waiting on the buffer's ready event, so
+    retry exhaustion surfaces to the application rather than hanging it.
+    """

@@ -1,0 +1,72 @@
+"""Typed fault/resilience events with a running hash.
+
+Every state transition the resilience layer makes — an errored
+completion, a timeout, a retry, a retry exhaustion, a circuit-breaker
+transition — is recorded as a :class:`FaultEvent` and folded into a
+blake2b digest, the fault-schedule analogue of the PR-1 event-trace hash:
+two faulted runs are behaviourally identical only if their fault digests
+match (the ``--audit`` path asserts exactly that).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.core import Environment
+
+__all__ = ["FaultEvent", "FaultEventLog"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault-subsystem state transition."""
+
+    time: float
+    #: "error" | "timeout" | "retry" | "exhausted" | "breaker"
+    kind: str
+    disk: int
+    detail: str = ""
+    attempt: int = 0
+
+
+class FaultEventLog:
+    """Ordered record of fault events plus their running digest."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.events: List[FaultEvent] = []
+        self._hash = hashlib.blake2b(digest_size=16)
+
+    def record(
+        self, kind: str, disk: int, detail: str = "", attempt: int = 0
+    ) -> FaultEvent:
+        event = FaultEvent(
+            time=self.env.now,
+            kind=kind,
+            disk=disk,
+            detail=detail,
+            attempt=attempt,
+        )
+        self.events.append(event)
+        self._hash.update(
+            f"{event.time!r}|{event.kind}|{event.disk}|{event.detail}"
+            f"|{event.attempt}\n".encode("utf-8")
+        )
+        return event
+
+    def hexdigest(self) -> str:
+        """Digest of every event recorded so far (order-sensitive)."""
+        return self._hash.hexdigest()
+
+    def counts(self) -> Dict[str, int]:
+        """Event tallies by kind (insertion-ordered)."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)

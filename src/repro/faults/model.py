@@ -1,0 +1,193 @@
+"""Fault evaluation against the clock: ``DiskFaultState`` and the
+``FaultyDiskModel`` decorator.
+
+The decorator composes over any :class:`~repro.machine.disk.DiskModel`
+(fixed, jittered, seek) and injects the plan's faults where the disk
+evaluates physical service time:
+
+* a request reaching the head of the queue during a fail-stop window
+  first waits out the remainder of the outage (the stall is part of its
+  service time — no extra processes, so the schedule stays a pure
+  function of simulated time);
+* fail-slow and hot-spot windows multiply the inner model's service
+  time, evaluated at the moment service actually begins (i.e. after any
+  fail-stop stall);
+* transient errors are rolled once per completion from the blessed
+  per-disk stream ``faults/transient/disk<N>``.
+
+Everything here is deterministic given the experiment seed and the plan.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..analysis.invariants import InvariantViolation
+from ..machine.disk import DiskModel, DiskRequest
+from .plan import FailSlow, FailStop, FaultSpec, HotSpot, TransientErrors
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.disk import Disk
+    from ..sim.rng import RandomStreams
+
+__all__ = ["DiskFaultState", "FaultyDiskModel"]
+
+
+def _end(end: Optional[float]) -> float:
+    return math.inf if end is None else end
+
+
+def _merge(
+    windows: List[Tuple[float, float]]
+) -> Tuple[Tuple[float, float], ...]:
+    """Union of half-open windows as disjoint, sorted spans."""
+    merged: List[List[float]] = []
+    for start, stop in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], stop)
+        else:
+            merged.append([start, stop])
+    return tuple((a, b) for a, b in merged)
+
+
+class DiskFaultState:
+    """The compiled fault schedule of one disk.
+
+    Pure with respect to simulated time except for the transient-error
+    roll, which consumes the disk's dedicated named stream in completion
+    order (itself deterministic).
+    """
+
+    def __init__(
+        self,
+        disk_id: int,
+        specs: Tuple[FaultSpec, ...],
+        streams: "RandomStreams",
+    ) -> None:
+        self.disk_id = disk_id
+        self._streams = streams
+        self._transient_stream = f"faults/transient/disk{disk_id}"
+        downs: List[Tuple[float, float]] = []
+        slows: List[Tuple[float, float, float]] = []
+        transients: List[Tuple[float, float, float]] = []
+        hotspots: List[Tuple[float, float, float]] = []
+        for spec in specs:
+            if isinstance(spec, FailStop):
+                downs.append((spec.at, _end(spec.recover)))
+            elif isinstance(spec, FailSlow):
+                slows.append((spec.start, _end(spec.end), spec.factor))
+            elif isinstance(spec, TransientErrors):
+                transients.append(
+                    (spec.start, _end(spec.end), spec.probability)
+                )
+            elif isinstance(spec, HotSpot):
+                hotspots.append((spec.start, _end(spec.end), spec.alpha))
+            else:
+                raise InvariantViolation(
+                    f"unknown fault spec type {type(spec).__name__}"
+                )
+        self.down_windows = _merge(downs)
+        self.slow_windows = tuple(sorted(slows))
+        self.transient_windows = tuple(sorted(transients))
+        self.hotspot_windows = tuple(sorted(hotspots))
+
+    # -- clock queries -----------------------------------------------------
+
+    def is_down(self, t: float) -> bool:
+        return self.next_up(t) > t
+
+    def next_up(self, t: float) -> float:
+        """Earliest time >= ``t`` at which the disk is not fail-stopped
+        (``inf`` for an unrecovered fail-stop)."""
+        for start, stop in self.down_windows:
+            if start <= t < stop:
+                return stop
+            if start > t:
+                break
+        return t
+
+    def service_multiplier(self, t: float, queue_depth: int) -> float:
+        """Combined fail-slow x hot-spot multiplier at time ``t``."""
+        multiplier = 1.0
+        for start, stop, factor in self.slow_windows:
+            if start <= t < stop:
+                multiplier *= factor
+        for start, stop, alpha in self.hotspot_windows:
+            if start <= t < stop:
+                multiplier *= 1.0 + alpha * queue_depth
+        return multiplier
+
+    def error_probability(self, t: float) -> float:
+        """Combined transient-error probability at time ``t`` (windows
+        compose as independent failure sources)."""
+        survive = 1.0
+        for start, stop, probability in self.transient_windows:
+            if start <= t < stop:
+                survive *= 1.0 - probability
+        return 1.0 - survive
+
+    def roll_error(self, t: float) -> Optional[str]:
+        """Decide whether a completion at ``t`` returns an error.
+
+        Draws from the disk's named stream only when some transient
+        window is active, so plans without transient faults consume no
+        randomness at all.
+        """
+        probability = self.error_probability(t)
+        if probability <= 0.0:
+            return None
+        draw = self._streams.uniform(self._transient_stream, 0.0, 1.0)
+        if draw < probability:
+            return "transient-error"
+        return None
+
+    def degraded_windows(self) -> List[Tuple[float, float]]:
+        """Every injected-fault window (for time-in-degraded-mode)."""
+        spans: List[Tuple[float, float]] = list(self.down_windows)
+        spans.extend((a, b) for a, b, _ in self.slow_windows)
+        spans.extend((a, b) for a, b, _ in self.transient_windows)
+        spans.extend((a, b) for a, b, _ in self.hotspot_windows)
+        return spans
+
+
+class FaultyDiskModel(DiskModel):
+    """Decorator injecting a :class:`DiskFaultState` into any disk model.
+
+    Swapped onto a live disk via :meth:`~repro.machine.disk.Disk.set_model`;
+    the inner model keeps its own state (seek head position, jitter
+    stream), so faulted and fault-free runs draw identically from it.
+    """
+
+    def __init__(self, inner: DiskModel, state: DiskFaultState) -> None:
+        self.inner = inner
+        self.state = state
+        self._disk: Optional["Disk"] = None
+
+    def attach(self, disk: "Disk") -> None:
+        self._disk = disk
+        self.inner.attach(disk)
+
+    def _attached(self) -> "Disk":
+        if self._disk is None:
+            raise InvariantViolation(
+                f"FaultyDiskModel for disk {self.state.disk_id} used "
+                "before attach()"
+            )
+        return self._disk
+
+    def service_time(self, request: DiskRequest) -> float:
+        disk = self._attached()
+        now = disk.env.now
+        up = self.state.next_up(now)
+        if math.isinf(up):
+            # Unrecovered fail-stop: the transfer never completes.  The
+            # resilience layer's timeout is what bounds the caller.
+            return math.inf
+        stall = up - now
+        base = self.inner.service_time(request)
+        return stall + base * self.state.service_multiplier(up, disk.pending)
+
+    def completion_error(self, request: DiskRequest) -> Optional[str]:
+        disk = self._attached()
+        return self.state.roll_error(disk.env.now)

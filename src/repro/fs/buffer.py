@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Optional
 
-from ..analysis.invariants import invariant
+from ..analysis.invariants import InvariantViolation, invariant
 from ..sim.events import Event
 from ..machine.disk import RequestKind
 
@@ -154,6 +154,29 @@ class Buffer:
             self,
         )
         self.ready_event.succeed(self)
+
+    def abort_fetch(self) -> Event:
+        """A fetch failed permanently: drop the assignment, FETCHING ->
+        EMPTY, and return the (still-untriggered) ready event so the
+        caller can *fail* it — waiters learn of the failure through the
+        event, not the buffer.  Pins are left in place: any waiter still
+        holds its pin and will not unpin on the error path (the run is
+        surfacing a failure, not continuing)."""
+        if self.state is not BufferState.FETCHING:
+            raise RuntimeError(f"{self!r} not fetching; cannot abort")
+        event = self.ready_event
+        if event is None:
+            raise InvariantViolation(
+                f"fetching buffer {self.index} has no ready event"
+            )
+        self.block = None
+        self.state = BufferState.EMPTY
+        self.ready_event = None
+        self.read_count = 0
+        self.fetch_kind = None
+        self.fetched_by = None
+        self.fetch_start = None
+        return event
 
     def record_use(self) -> None:
         """Account one read served from this buffer."""

@@ -42,6 +42,7 @@ from .replacement import GlobalLRUPolicy, ReplacementPolicy, RUSetPolicy
 from .trace import Trace, TraceRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.layer import ResilienceLayer
     from ..machine.machine import Machine
     from ..metrics.collector import RunMetrics
     from ..prefetch.policy import PrefetchPolicy
@@ -166,6 +167,11 @@ class BlockCache:
         #: Optional callback ``(node_id, block)`` invoked on every demand
         #: access — feeds on-the-fly predictor policies.
         self.access_observer = None
+        #: Optional :class:`~repro.faults.layer.ResilienceLayer`.  When
+        #: set (fault-injection runs), block fetches are routed through
+        #: its retry/timeout machinery and prefetch issuance is gated by
+        #: its per-disk circuit breakers.
+        self.resilience: Optional["ResilienceLayer"] = None
 
     # ------------------------------------------------------------------ util
 
@@ -285,18 +291,49 @@ class BlockCache:
         # Enqueue the disk request (outside the lock).
         yield self.env.timeout(self.costs.disk_enqueue_time)
         disk = self.machine.disk_for_block(self.file.disk_for(block))
-        request = disk.submit(block, RequestKind.DEMAND, node_id)
-        request.done.callbacks.append(
-            lambda ev, buf=victim: self._fetch_complete(buf)
-        )
+        self._issue_fetch(disk, block, RequestKind.DEMAND, node_id, victim)
         return LookupOutcome(
             kind="miss", buffer=victim, ready_event=ready_event
+        )
+
+    def _issue_fetch(self, disk, block, kind, node_id, buffer) -> None:
+        """Send a block fetch to ``disk``, directly or — under a fault
+        plan — through the resilience layer's retry machinery."""
+        if self.resilience is not None:
+            self.resilience.fetch(
+                disk,
+                block,
+                kind,
+                node_id,
+                on_success=lambda buf=buffer: self._fetch_complete(buf),
+                on_failure=lambda exc, buf=buffer: self.fetch_failed(
+                    buf, exc
+                ),
+            )
+            return
+        request = disk.submit(block, kind, node_id)
+        request.done.callbacks.append(
+            lambda ev, buf=buffer: self._fetch_complete(buf)
         )
 
     def _fetch_complete(self, buffer: Buffer) -> None:
         """Disk completion: data present, wake waiters (interrupt context —
         uncosted, modelling DMA + completion interrupt)."""
         buffer.mark_ready()
+        self._signal_freed()
+
+    def fetch_failed(self, buffer: Buffer, error: BaseException) -> None:
+        """A fetch exhausted its retries (interrupt context): untable the
+        buffer, return any prefetch budget, and *fail* the ready event so
+        every waiter has ``error`` raised into it.  With no waiters (a
+        failed prefetch) the defused failure is inert and the buffer is
+        simply empty again."""
+        if buffer.block is not None and self.table.get(buffer.block) is buffer:
+            del self.table[buffer.block]
+        self._release_budget(buffer)
+        event = buffer.abort_fetch()
+        event.fail(error)
+        event.defuse()
         self._signal_freed()
 
     def complete_read(self, node_id: int, buffer: Buffer) -> None:
@@ -345,7 +382,8 @@ class BlockCache:
         The caller holds the node's CPU for the whole action (the paper's
         "releasing control only at the completion of an action").  Returns
         the outcome: "success", "no_candidate", "already_cached",
-        "budget_full", or "no_buffer".
+        "budget_full", "no_buffer", or — under a fault plan — "suspended"
+        (the target disk's circuit breaker is open).
         """
         self.memory.enter()
         try:
@@ -359,6 +397,16 @@ class BlockCache:
                 yield self.env.timeout(self.costs.prefetch_failed_action)
                 return "no_candidate"
             ref_index, block = candidate
+
+            if self.resilience is not None:
+                disk = self.machine.disk_for_block(self.file.disk_for(block))
+                if not self.resilience.allow_prefetch(disk.disk_id):
+                    # Circuit breaker open: release the reservation and
+                    # let the daemon sit out this idle period, so
+                    # prefetch traffic never piles onto a sick disk.
+                    policy.abort(node_id, ref_index, block)
+                    yield self.env.timeout(self.costs.prefetch_failed_action)
+                    return "suspended"
 
             # Request preparation (buffer search bookkeeping — local in the
             # optimized layout, remote pointer-chasing in the naive one).
@@ -401,9 +449,8 @@ class BlockCache:
 
             yield self.env.timeout(self.costs.disk_enqueue_time)
             disk = self.machine.disk_for_block(self.file.disk_for(block))
-            request = disk.submit(block, RequestKind.PREFETCH, node_id)
-            request.done.callbacks.append(
-                lambda ev, buf=victim: self._fetch_complete(buf)
+            self._issue_fetch(
+                disk, block, RequestKind.PREFETCH, node_id, victim
             )
             return "success"
         finally:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from ..analysis.invariants import invariant
+from ..faults.errors import ReadFailedError
 from ..machine.node import IdleKind, Node
 from ..sim.events import Event
 from ..sim.resources import Request
@@ -93,9 +94,17 @@ class FileServer:
             "unready/miss lookup outcome lacks a ready event",
             outcome,
         )
-        _, cpu_req = yield from node.idle_wait(
-            cpu_req, outcome.ready_event, idle_kind
-        )
+        try:
+            _, cpu_req = yield from node.idle_wait(
+                cpu_req, outcome.ready_event, idle_kind
+            )
+        except ReadFailedError as exc:
+            # Retry exhaustion under a fault plan: surface the failure to
+            # the application with the read's context attached.
+            raise ReadFailedError(
+                f"demand read of block {block} by node {node.node_id} "
+                f"({outcome.kind}) failed permanently: {exc}"
+            ) from exc
         if outcome.kind == "unready":
             # Hit-wait: the logically necessary wait for the outstanding I/O.
             self.metrics.record_hit_wait(node.idle_periods[-1].necessary)

@@ -20,7 +20,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
-from ..analysis.invariants import invariant
+from ..analysis.invariants import InvariantViolation, invariant
 from ..sim.events import Event
 from ..sim.monitor import Tally, TimeWeighted
 from ..sim.resources import Store
@@ -58,19 +58,36 @@ class DiskRequest:
     done: Event = field(repr=False)
     start_time: Optional[float] = None
     complete_time: Optional[float] = None
+    #: Non-None when the transfer completed but returned an error (set
+    #: from :meth:`DiskModel.completion_error` — the fault-injection hook).
+    error: Optional[str] = None
+
+    def _context(self) -> str:
+        return (
+            f"block {self.block} ({self.kind.value}) from node "
+            f"{self.node_id}, enqueued t={self.enqueue_time}, "
+            f"started t={self.start_time}"
+        )
 
     @property
     def response_time(self) -> float:
         """Queue entry to completion (the paper's disk response time)."""
-        if self.complete_time is None:
-            raise RuntimeError("request not complete")
-        return self.complete_time - self.enqueue_time
+        complete = self.complete_time
+        if complete is None:
+            raise InvariantViolation(
+                f"response_time read before completion: {self._context()}"
+            )
+        return complete - self.enqueue_time
 
     @property
     def service_time(self) -> float:
-        if self.complete_time is None or self.start_time is None:
-            raise RuntimeError("request not complete")
-        return self.complete_time - self.start_time
+        complete = self.complete_time
+        start = self.start_time
+        if complete is None or start is None:
+            raise InvariantViolation(
+                f"service_time read before completion: {self._context()}"
+            )
+        return complete - start
 
 
 class DiskModel:
@@ -78,6 +95,16 @@ class DiskModel:
 
     def service_time(self, request: DiskRequest) -> float:
         raise NotImplementedError
+
+    def attach(self, disk: "Disk") -> None:
+        """Bind the model to its disk.  Called once at construction and
+        again whenever the model is swapped (the fault-injection
+        decorator needs the disk's clock and queue depth)."""
+
+    def completion_error(self, request: DiskRequest) -> Optional[str]:
+        """Fault hook, evaluated as a transfer completes: non-None marks
+        the completed request as errored.  The base models never fail."""
+        return None
 
 
 class FixedDiskModel(DiskModel):
@@ -164,7 +191,9 @@ class Disk:
     * ``demand_response`` / ``prefetch_response`` — kind-partitioned tallies;
     * ``queue_length`` — time-weighted queue length (waiting requests);
     * ``busy`` — time-weighted busy indicator (utilization);
-    * ``blocks_served`` — total completed requests.
+    * ``blocks_served`` — total completed requests (errored completions
+      included: the transfer consumed the disk either way);
+    * ``errors`` — completions the model's fault hook marked as failed.
     """
 
     def __init__(
@@ -183,7 +212,15 @@ class Disk:
         self.queue_length = TimeWeighted(env, 0.0)
         self.busy = TimeWeighted(env, 0.0)
         self.blocks_served = 0
+        self.errors = 0
+        self.model.attach(self)
         self._server = env.process(self._serve(), name=f"disk-{disk_id}")
+
+    def set_model(self, model: DiskModel) -> None:
+        """Swap the service-time model (the fault-injection decorator
+        wraps the existing model in place after the machine is built)."""
+        self.model = model
+        model.attach(self)
 
     def submit(
         self, block: int, kind: RequestKind, node_id: int
@@ -205,6 +242,18 @@ class Disk:
         """Requests waiting in the queue (excludes the one in service)."""
         return len(self._queue.items)
 
+    def cancel(self, request: DiskRequest) -> bool:
+        """Withdraw a request that is still waiting in the queue (the
+        resilience layer's timeout path).  Returns ``False`` when the
+        request already entered service — the transfer then proceeds and
+        ``request.done`` fires normally; the caller decides whether to
+        keep waiting."""
+        if request in self._queue.items:
+            self._queue.items.remove(request)
+            self.queue_length.set(len(self._queue.items))
+            return True
+        return False
+
     def utilization(self) -> float:
         """Fraction of time spent transferring, from t=0 to now."""
         return self.busy.time_average()
@@ -225,6 +274,13 @@ class Disk:
             == self.response_times.count,
             "kind-partitioned tallies do not sum to the response tally",
             self.disk_id,
+        )
+        invariant(
+            0 <= self.errors <= self.blocks_served,
+            "error counter outside [0, blocks_served]",
+            self.disk_id,
+            self.errors,
+            self.blocks_served,
         )
         invariant(
             self.busy.value in (0.0, 1.0),
@@ -251,6 +307,9 @@ class Disk:
             yield self.env.timeout(self.model.service_time(request))
             self.busy.set(0.0)
             request.complete_time = self.env.now
+            request.error = self.model.completion_error(request)
+            if request.error is not None:
+                self.errors += 1
             self.blocks_served += 1
             rt = request.response_time
             self.response_times.record(rt)

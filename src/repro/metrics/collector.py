@@ -12,7 +12,9 @@ Gathers every measure the paper defines (Section IV-C):
 * per-idle-kind necessary/actual idle times and prefetch overrun
   (delegated to the Nodes);
 * prefetch action lengths and failure reasons;
-* synchronization waits (delegated to the Barrier).
+* synchronization waits (delegated to the Barrier);
+* fault-injection counters (per-disk errors / retries / timeouts and
+  circuit-breaker transitions) — all zero on healthy runs.
 
 The collector is write-mostly during a run; derived ratios are computed on
 demand.
@@ -20,7 +22,7 @@ demand.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..sim.monitor import Tally
 
@@ -65,6 +67,14 @@ class RunMetrics:
 
         # Synchronization (filled in by the workload at run end).
         self.sync_waits = Tally("sync_wait")
+
+        # Fault injection (populated by the resilience layer; all empty
+        # on healthy runs).
+        self.disk_errors: Dict[int, int] = {}
+        self.disk_retries: Dict[int, int] = {}
+        self.disk_timeouts: Dict[int, int] = {}
+        #: ``(time, disk_id, old_state, new_state)`` in event order.
+        self.breaker_transitions: List[Tuple[float, int, str, str]] = []
 
         # Run span.
         self.start_time: Optional[float] = None
@@ -113,7 +123,45 @@ class RunMetrics:
         else:
             self.failed_action_times.record(duration)
 
+    def record_disk_error(self, disk_id: int) -> None:
+        """One errored disk completion observed by the resilience layer."""
+        self.disk_errors[disk_id] = self.disk_errors.get(disk_id, 0) + 1
+
+    def record_retry(self, disk_id: int) -> None:
+        """One retry (re-issue after error/timeout + backoff)."""
+        self.disk_retries[disk_id] = self.disk_retries.get(disk_id, 0) + 1
+
+    def record_timeout(self, disk_id: int) -> None:
+        """One per-request timeout expiry."""
+        self.disk_timeouts[disk_id] = self.disk_timeouts.get(disk_id, 0) + 1
+
+    def record_breaker_transition(
+        self, disk_id: int, old_state: str, new_state: str
+    ) -> None:
+        self.breaker_transitions.append(
+            (self.env.now, disk_id, old_state, new_state)
+        )
+
     # -- derived quantities -----------------------------------------------------
+
+    @property
+    def total_disk_errors(self) -> int:
+        return sum(self.disk_errors.values())
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.disk_retries.values())
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(self.disk_timeouts.values())
+
+    @property
+    def breaker_opens(self) -> int:
+        """Number of closed/half-open -> open transitions."""
+        return sum(
+            1 for _, _, _, new in self.breaker_transitions if new == "open"
+        )
 
     @property
     def total_accesses(self) -> int:

@@ -15,7 +15,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "PAIRED_MEASURES",
+    "FAULT_MEASURES",
     "paired_measure_rows",
+    "fault_measure_rows",
     "render_table",
     "render_scatter",
     "format_cell",
@@ -40,6 +42,19 @@ PAIRED_MEASURES: Tuple[Tuple[str, str], ...] = (
 )
 
 
+#: Resilience/fault measures appended to comparisons when a run carried
+#: a fault plan: (row label, RunResult attribute).
+FAULT_MEASURES: Tuple[Tuple[str, str], ...] = (
+    ("demand read p50 (ms)", "read_p50"),
+    ("demand read p99 (ms)", "read_p99"),
+    ("disk errors", "disk_errors"),
+    ("retries", "disk_retries"),
+    ("timeouts", "disk_timeouts"),
+    ("breaker opens", "breaker_opens"),
+    ("time degraded (ms)", "time_degraded"),
+)
+
+
 def paired_measure_rows(
     base: "RunResult", prefetch: "RunResult"
 ) -> List[Tuple[str, object, object]]:
@@ -51,6 +66,16 @@ def paired_measure_rows(
     return [
         (label, getattr(base, attr), getattr(prefetch, attr))
         for label, attr in PAIRED_MEASURES
+    ]
+
+
+def fault_measure_rows(
+    base: "RunResult", prefetch: "RunResult"
+) -> List[Tuple[str, object, object]]:
+    """Fault/resilience rows for a paired table (faulted runs only)."""
+    return [
+        (label, getattr(base, attr), getattr(prefetch, attr))
+        for label, attr in FAULT_MEASURES
     ]
 
 

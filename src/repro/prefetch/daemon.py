@@ -132,5 +132,13 @@ class PrefetchDaemon:
                 self._record(env.now - start, outcome)
                 if outcome == "success":
                     consecutive_failures = 0
+                elif outcome == "suspended":
+                    # The target disk's circuit breaker is open: degrade
+                    # gracefully by sitting out the rest of this idle
+                    # period instead of spinning on the same candidate —
+                    # prefetch must never starve demand I/O on a sick
+                    # disk (docs/faults.md).
+                    yield node.idle_gate.wait_closed()
+                    break
                 else:
                     consecutive_failures += 1

@@ -165,6 +165,12 @@ def record_run(
     """
     rng = RandomStreams(config.seed)
     pattern: "AccessPattern" = materialize_pattern(config, rng)
+    extra: dict = {"label": config.label, "prefetch": config.prefetch}
+    if config.faults is not None:
+        # Provenance: the recorded timeline was shaped by this fault
+        # plan (replays may use a different one, or none).
+        extra["fault_plan_digest"] = config.faults.digest
+        extra["fault_plan_name"] = config.faults.name
     meta = TraceMeta(
         workload=config.pattern,
         n_nodes=config.n_nodes,
@@ -174,7 +180,7 @@ def record_run(
         crosses_portions=pattern.crosses_portions,
         sync_style=config.sync_style,
         compute_mean=config.compute_mean,
-        extra={"label": config.label, "prefetch": config.prefetch},
+        extra=extra,
     )
     recorder = TraceRecorder(meta)
     result = run_materialized(

@@ -1,0 +1,166 @@
+"""Degraded-mode acceptance: whole runs under fault plans.
+
+Covers the PR's acceptance criteria: a fail-stopped disk measurably
+degrades execution time while demand reads to healthy disks complete
+without retry amplification, and a faulted run is bit-for-bit
+reproducible (identical event-trace and fault-event digests) across
+repeated executions.
+"""
+
+import pytest
+
+from repro.analysis.audit import run_twice_and_diff
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.chaos import chaos_config
+from repro.faults import (
+    FailSlow,
+    FailStop,
+    FaultPlan,
+    HotSpot,
+    ResiliencePolicy,
+    TransientErrors,
+)
+
+SMALL = dict(
+    n_nodes=4,
+    n_disks=4,
+    file_blocks=160,
+    total_reads=160,
+    record_trace=False,
+)
+
+
+def small_config(faults, pattern="lfp", **overrides):
+    params = dict(SMALL, sync_style="none")
+    params.update(overrides)
+    return ExperimentConfig(pattern=pattern, faults=faults, **params)
+
+
+FAILSTOP_PLAN = FaultPlan(
+    faults=(FailStop(disk=0, at=200.0, recover=900.0),),
+    resilience=ResiliencePolicy(
+        timeout=240.0, max_retries=40, backoff_base=10.0, backoff_max=120.0
+    ),
+    name="one-dead-disk",
+)
+
+
+def test_fail_stop_degrades_but_healthy_disks_are_isolated():
+    healthy = run_experiment(small_config(None))
+    faulted = run_experiment(small_config(FAILSTOP_PLAN))
+
+    # The outage measurably degrades the run...
+    assert faulted.total_time > healthy.total_time
+    # ...and is visible in the degraded-mode accounting.
+    assert faulted.time_degraded >= 700.0 * 0.99
+    assert faulted.disk_timeouts > 0
+
+    # Demand reads to healthy disks complete without retry
+    # amplification: every retry and timeout belongs to the victim.
+    assert set(faulted.retries_by_disk) <= {0}
+    assert set(faulted.timeouts_by_disk) <= {0}
+    assert set(faulted.errors_by_disk) <= {0}
+
+    # Healthy runs report all-zero fault measures.
+    assert healthy.disk_errors == 0
+    assert healthy.disk_retries == 0
+    assert healthy.time_degraded == 0.0
+    assert healthy.fault_digest == ""
+
+
+def test_faulted_run_is_deterministic_under_audit():
+    config = small_config(
+        FaultPlan(
+            faults=(
+                FailStop(disk=0, at=200.0, recover=900.0),
+                TransientErrors(disk=1, probability=0.1),
+                FailSlow(disk=2, factor=2.0, start=100.0, end=600.0),
+                HotSpot(disk=3, alpha=0.3),
+            ),
+            resilience=ResiliencePolicy(
+                timeout=240.0, max_retries=40, backoff_base=10.0,
+                backoff_max=120.0,
+            ),
+        ),
+        pattern="gw",
+        sync_style="per-proc",
+    )
+    for cell in (config, config.paired_baseline()):
+        report = run_twice_and_diff(cell)
+        assert report.identical, report.summary()
+        assert (
+            report.first.result.fault_digest
+            == report.second.result.fault_digest
+        )
+        assert report.first.result.fault_digest != ""
+
+
+def test_all_four_fault_kinds_complete_and_degrade():
+    healthy = run_experiment(small_config(None, pattern="gw"))
+    plans = {
+        "fail-slow": FaultPlan(
+            faults=(FailSlow(disk=0, factor=4.0),),
+            resilience=ResiliencePolicy(),
+        ),
+        "transient": FaultPlan(
+            faults=(TransientErrors(disk=0, probability=0.5),),
+            resilience=ResiliencePolicy(max_retries=10),
+        ),
+        "hot-spot": FaultPlan(
+            faults=(HotSpot(disk=0, alpha=1.0),),
+            resilience=ResiliencePolicy(),
+        ),
+    }
+    for label, plan in plans.items():
+        result = run_experiment(small_config(plan, pattern="gw"))
+        assert result.total_time > healthy.total_time, label
+        assert result.time_degraded > 0.0, label
+    # The transient plan also shows errors and retries.
+    transient = run_experiment(
+        small_config(plans["transient"], pattern="gw")
+    )
+    assert transient.disk_errors > 0
+    assert transient.errors_by_disk.keys() <= {0}
+
+
+def test_fault_plan_digest_lands_in_label_and_result():
+    config = small_config(FAILSTOP_PLAN)
+    assert f"faults:{FAILSTOP_PLAN.digest}" in config.label
+    result = run_experiment(config)
+    assert result.fault_digest != ""
+    assert len(result.fault_events) > 0
+
+
+def test_plan_targeting_missing_disk_is_rejected_at_config_time():
+    plan = FaultPlan(
+        faults=(FailStop(disk=9, at=1.0, recover=2.0),),
+        resilience=ResiliencePolicy(timeout=100.0),
+    )
+    with pytest.raises(Exception, match="disk 9"):
+        small_config(plan)  # SMALL has 4 disks
+
+
+def test_prefetch_survives_faults_and_breaker_gates_prefetch():
+    # A dead disk with an aggressive breaker: the run completes, the
+    # breaker opens, and some prefetch actions report "suspended".
+    plan = FaultPlan(
+        faults=(FailStop(disk=0, at=100.0, recover=1200.0),),
+        resilience=ResiliencePolicy(
+            timeout=150.0, max_retries=60, backoff_base=10.0,
+            backoff_max=60.0, breaker_threshold=2, breaker_cooldown=400.0,
+        ),
+    )
+    result = run_experiment(small_config(plan, pattern="gw"))
+    assert result.breaker_opens >= 1
+    assert result.prefetch_outcomes.get("suspended", 0) >= 1
+    # Prefetching still happened (on healthy disks at least).
+    assert result.blocks_prefetched > 0
+
+
+def test_chaos_config_pairs_share_plan_and_seed():
+    config = chaos_config("gw", 0.05, seed=3)
+    assert config.faults is not None
+    baseline = config.paired_baseline()
+    assert baseline.faults == config.faults
+    assert baseline.seed == config.seed
+    assert config.faults.for_disk(0)[0].probability == 0.05

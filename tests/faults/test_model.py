@@ -1,0 +1,144 @@
+"""DiskFaultState / FaultyDiskModel: the injection side."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    DiskFaultState,
+    FailSlow,
+    FailStop,
+    FaultyDiskModel,
+    HotSpot,
+    TransientErrors,
+)
+from repro.machine import Disk, FixedDiskModel, RequestKind
+from repro.sim import Environment
+from repro.sim.rng import RandomStreams
+
+
+def make_state(*specs, disk_id=0, seed=1):
+    return DiskFaultState(disk_id, tuple(specs), RandomStreams(seed))
+
+
+def test_down_windows_merge_and_next_up():
+    state = make_state(
+        FailStop(disk=0, at=100.0, recover=200.0),
+        FailStop(disk=0, at=150.0, recover=300.0),
+        FailStop(disk=0, at=500.0, recover=600.0),
+    )
+    assert state.down_windows == ((100.0, 300.0), (500.0, 600.0))
+    assert not state.is_down(99.0)
+    assert state.is_down(100.0)
+    assert state.next_up(100.0) == 300.0
+    assert state.next_up(250.0) == 300.0
+    assert state.next_up(300.0) == 300.0  # [start, end): up at recovery
+    assert state.next_up(550.0) == 600.0
+    assert state.next_up(700.0) == 700.0
+
+
+def test_unrecovered_fail_stop_never_comes_up():
+    state = make_state(FailStop(disk=0, at=100.0))
+    assert math.isinf(state.next_up(100.0))
+    assert state.next_up(99.999) == 99.999
+
+
+def test_service_multiplier_composes_slow_and_hotspot():
+    state = make_state(
+        FailSlow(disk=0, factor=2.0, start=0.0, end=100.0),
+        FailSlow(disk=0, factor=3.0, start=50.0, end=100.0),
+        HotSpot(disk=0, alpha=0.5, start=0.0, end=100.0),
+    )
+    assert state.service_multiplier(10.0, 0) == 2.0
+    assert state.service_multiplier(60.0, 0) == 6.0
+    # Hot-spot adds (1 + alpha * depth) on top.
+    assert state.service_multiplier(10.0, 4) == 2.0 * 3.0
+    assert state.service_multiplier(100.0, 4) == 1.0  # window closed
+
+
+def test_error_probability_composes_windows():
+    state = make_state(
+        TransientErrors(disk=0, probability=0.5, start=0.0, end=100.0),
+        TransientErrors(disk=0, probability=0.5, start=50.0, end=100.0),
+    )
+    assert state.error_probability(10.0) == pytest.approx(0.5)
+    assert state.error_probability(60.0) == pytest.approx(0.75)
+    assert state.error_probability(100.0) == 0.0
+
+
+def test_roll_consumes_stream_only_inside_windows():
+    streams = RandomStreams(7)
+    state = DiskFaultState(
+        0,
+        (TransientErrors(disk=0, probability=0.5, start=100.0, end=200.0),),
+        streams,
+    )
+    # Outside the window: no draw at all (stream stays untouched), so
+    # fault-free periods stay bit-identical to a fault-free run.
+    assert state.roll_error(50.0) is None
+    probe = RandomStreams(7).uniform("faults/transient/disk0", 0.0, 1.0)
+    assert streams.uniform("faults/transient/disk0", 0.0, 1.0) == probe
+
+
+def test_roll_error_is_deterministic_per_seed():
+    rolls_a = [make_state(
+        TransientErrors(disk=0, probability=0.4), seed=3
+    ).roll_error(t) for t in (1.0,)]
+    rolls_b = [make_state(
+        TransientErrors(disk=0, probability=0.4), seed=3
+    ).roll_error(t) for t in (1.0,)]
+    assert rolls_a == rolls_b
+
+
+def test_faulty_disk_model_stalls_through_outage():
+    env = Environment()
+    state = make_state(FailStop(disk=0, at=0.0, recover=100.0))
+    disk = Disk(env, 0, FixedDiskModel(30.0))
+    disk.set_model(FaultyDiskModel(disk.model, state))
+    req = disk.submit(block=0, kind=RequestKind.DEMAND, node_id=0)
+    env.run(until=20.0)
+    # Entered service while down: completes at recovery + access time.
+    assert not req.done.triggered
+    env.run(until=200.0)
+    assert req.done.triggered
+    assert req.complete_time == pytest.approx(130.0)
+    assert req.error is None
+
+
+def test_faulty_disk_model_flags_errored_completions():
+    env = Environment()
+    state = make_state(TransientErrors(disk=0, probability=1.0))
+    disk = Disk(env, 0, FixedDiskModel(30.0))
+    disk.set_model(FaultyDiskModel(disk.model, state))
+    req = disk.submit(block=0, kind=RequestKind.DEMAND, node_id=0)
+    env.run()
+    assert req.done.triggered
+    assert req.error == "transient-error"
+    assert disk.errors == 1
+    assert disk.blocks_served == 1  # the transfer still consumed the disk
+    disk.check_invariants()
+
+
+def test_decorator_preserves_inner_model_timing_when_healthy():
+    env = Environment()
+    state = make_state(FailStop(disk=0, at=1e9))  # far in the future
+    disk = Disk(env, 0, FixedDiskModel(30.0))
+    disk.set_model(FaultyDiskModel(disk.model, state))
+    req = disk.submit(block=5, kind=RequestKind.PREFETCH, node_id=1)
+    env.run()
+    assert req.service_time == 30.0
+
+
+def test_cancel_withdraws_queued_but_not_in_service():
+    env = Environment()
+    disk = Disk(env, 0, FixedDiskModel(30.0))
+    first = disk.submit(block=0, kind=RequestKind.DEMAND, node_id=0)
+    second = disk.submit(block=1, kind=RequestKind.DEMAND, node_id=0)
+    env.run(until=10.0)  # first is in service, second queued
+    assert disk.cancel(first) is False
+    assert disk.cancel(second) is True
+    assert disk.cancel(second) is False  # idempotent: already gone
+    env.run()
+    assert first.done.triggered
+    assert not second.done.triggered
+    disk.check_invariants()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis.invariants import InvariantViolation
 from repro.machine import Disk, FixedDiskModel, RequestKind, SeekDiskModel
 from repro.sim import Environment
 
@@ -113,9 +114,9 @@ def test_request_properties_before_completion_raise():
     env = Environment()
     disk = Disk(env, 0, FixedDiskModel(10.0))
     req = disk.submit(block=0, kind=RequestKind.DEMAND, node_id=0)
-    with pytest.raises(RuntimeError):
+    with pytest.raises(InvariantViolation, match="block 0"):
         _ = req.response_time
-    with pytest.raises(RuntimeError):
+    with pytest.raises(InvariantViolation, match="node 0"):
         _ = req.service_time
     env.run()
     assert req.service_time == 10.0
