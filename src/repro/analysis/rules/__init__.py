@@ -12,6 +12,7 @@ from typing import Tuple
 from .asserts import BareAssertRule
 from .base import Diagnostic, FileContext, Rule
 from .ordering import UnorderedIterationRule
+from .queues import QueueDisciplineRule
 from .rng import UnblessedRngRule
 from .wallclock import WallClockRule
 
@@ -21,6 +22,7 @@ __all__ = [
     "FileContext",
     "Rule",
     "BareAssertRule",
+    "QueueDisciplineRule",
     "UnblessedRngRule",
     "UnorderedIterationRule",
     "WallClockRule",
@@ -31,4 +33,5 @@ ALL_RULES: Tuple[Rule, ...] = (
     WallClockRule(),
     UnorderedIterationRule(),
     BareAssertRule(),
+    QueueDisciplineRule(),
 )

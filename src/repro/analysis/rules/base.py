@@ -33,7 +33,16 @@ __all__ = [
 #: Directory names whose contents drive simulation ordering and therefore
 #: fall under the strictest determinism rules.
 SIM_CRITICAL_PARTS = frozenset(
-    {"sim", "fs", "machine", "prefetch", "workload", "traces", "faults"}
+    {
+        "sim",
+        "fs",
+        "machine",
+        "prefetch",
+        "workload",
+        "traces",
+        "faults",
+        "perf",
+    }
 )
 
 _DIRECTIVE_RE = re.compile(r"#\s*simlint:\s*([a-z\-,\s]+)")

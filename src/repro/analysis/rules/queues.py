@@ -1,0 +1,73 @@
+"""Rule ``queues``: no O(n) list-as-FIFO operations in sim-critical code.
+
+``list.pop(0)`` and ``list.insert(0, ...)`` shift every remaining element
+on each call, so a wait queue serviced that way costs O(n²) across a run
+— the exact hot-path smell PR 4 removed from ``sim/resources.py``.  The
+cure is :class:`collections.deque` (``popleft``/``appendleft`` are O(1)
+and preserve FIFO order exactly), or an index cursor when the scan must
+skip elements in place.
+
+The rule is syntactic: it flags ``<anything>.pop(0)`` and
+``<anything>.insert(0, ...)`` inside the sim-critical packages.  A
+deliberate use on a known-tiny container can opt out per line with
+``# simlint: allow-queues``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import Diagnostic, FileContext, Rule
+
+__all__ = ["QueueDisciplineRule"]
+
+
+def _is_zero(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and node.value == 0
+        and not isinstance(node.value, bool)
+    )
+
+
+class QueueDisciplineRule(Rule):
+    name = "queues"
+    description = (
+        "list.pop(0)/insert(0, ...) in sim-critical packages "
+        "(O(n) shift per call — use collections.deque)"
+    )
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[Diagnostic]:
+        if not ctx.in_sim_critical:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if (
+                func.attr == "pop"
+                and len(node.args) == 1
+                and _is_zero(node.args[0])
+            ):
+                yield self.diag(
+                    ctx,
+                    node,
+                    ".pop(0) shifts the whole list — use "
+                    "collections.deque.popleft()",
+                )
+            elif (
+                func.attr == "insert"
+                and len(node.args) == 2
+                and _is_zero(node.args[0])
+            ):
+                yield self.diag(
+                    ctx,
+                    node,
+                    ".insert(0, ...) shifts the whole list — use "
+                    "collections.deque.appendleft()",
+                )

@@ -15,7 +15,9 @@ The rules (see :mod:`repro.analysis.rules` and ``docs/analysis.md``):
 * ``wallclock`` — no host-clock reads, simulation time is ``env.now``;
 * ``unordered`` — no iteration over bare sets / ``dict.keys()`` in
   sim-critical packages;
-* ``assert`` — runtime invariants must survive ``python -O``.
+* ``assert`` — runtime invariants must survive ``python -O``;
+* ``queues`` — no ``list.pop(0)``/``insert(0, ...)`` FIFO abuse in
+  sim-critical packages (use ``collections.deque``).
 
 Per-line suppression: ``# simlint: allow-<rule>``; whole-file opt-out:
 ``# simlint: skip-file`` near the top of the module.
@@ -50,7 +52,9 @@ def collect_files(paths: Sequence[Path]) -> List[Tuple[Path, Path]]:
     for raw in paths:
         path = Path(raw)
         if path.is_file():
-            if path.suffix == ".py":
+            # Only real source: never compiled bytecode (``*.pyc``) or a
+            # stray module passed from inside ``__pycache__``.
+            if path.suffix == ".py" and not set(path.parts) & _SKIP_DIRS:
                 out.append((path, path.parent))
             continue
         if not path.is_dir():

@@ -15,6 +15,11 @@ Subcommands:
 * ``audit``   — determinism audit: run one configuration twice (prefetch
   on and off), compare event-trace hashes, and report same-instant
   resource collisions and invariant sweeps (see docs/analysis.md);
+* ``bench``   — benchmark the simulator and the perf layer: kernel
+  events/sec, sequential-vs-parallel suite wall time (digests must
+  match), cache cold/warm behaviour, peak RSS; writes
+  ``BENCH_<label>.json`` and optionally gates on a committed baseline
+  (see docs/perf.md);
 * ``faults``  — fault-injection plans (see docs/faults.md):
   ``faults make`` composes a plan from ``--fail-stop``/``--fail-slow``/
   ``--transient``/``--hot-spot`` specs plus resilience knobs and writes
@@ -32,6 +37,12 @@ Subcommands:
 ``run --audit`` additionally runs the paired comparison under the runtime
 auditor: event-trace hashing, the simultaneous-event race detector, and
 periodic cache/disk invariant sweeps.
+
+``run``, ``suite``, and ``figure`` accept ``--jobs N`` (fan independent
+simulations out to N worker processes), ``--cache-dir DIR`` and
+``--no-cache`` (memoize completed runs on disk); ``audit --jobs``
+parallelizes the two audited cells.  Defaults keep everything
+sequential and uncached.  See docs/perf.md.
 """
 
 from __future__ import annotations
@@ -66,8 +77,8 @@ from .experiments import (
     fig16_lead_totaltime,
     ext_predictor_comparison,
     ext_scalability,
-    run_experiment,
     run_lead_sweep,
+    run_pair,
     run_suite,
     vd_min_prefetch_time,
     vf_buffer_count,
@@ -176,6 +187,33 @@ def _load_faults(args: argparse.Namespace) -> Optional["FaultPlan"]:
     return FaultPlan.load(path)
 
 
+def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared performance flags: worker fan-out and run caching."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent simulations "
+        "(default 1: sequential, in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="memoize completed runs under DIR "
+        "(default: $REPRO_CACHE_DIR if set, else no caching)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the run cache even if $REPRO_CACHE_DIR is set",
+    )
+
+
+def _open_cache(args: argparse.Namespace):
+    """The run cache the perf flags select (None = caching off)."""
+    from .perf.cache import open_cache
+
+    return open_cache(
+        getattr(args, "cache_dir", None), getattr(args, "no_cache", False)
+    )
+
+
 def _print_fault_summary(base, pf) -> None:
     print()
     print(
@@ -206,6 +244,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=faults,
     )
     audits = []
+    cache = None
     if args.audit:
         from .analysis.audit import run_with_audit
 
@@ -214,8 +253,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         pf, base = pf_report.result, base_report.result
         audits = [base_report, pf_report]
     else:
-        pf = run_experiment(config)
-        base = run_experiment(config.paired_baseline())
+        cache = _open_cache(args)
+        pf, base = run_pair(config, jobs=args.jobs, cache=cache)
     print(
         render_table(
             ["measure", "no-prefetch", "prefetch"],
@@ -228,11 +267,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _print_fault_summary(base, pf)
     for report in audits:
         _print_audit(report)
+    if cache is not None:
+        print(cache.summary())
     return 0
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
-    from .analysis.audit import run_twice_and_diff
+    from .perf.executor import execute_audits
 
     config = ExperimentConfig(
         pattern=args.pattern,
@@ -246,21 +287,26 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         total_reads=args.reads,
         faults=_load_faults(args),
     )
+    verdicts = execute_audits(
+        [config, config.paired_baseline()], jobs=args.jobs
+    )
     ok = True
-    for cell in (config, config.paired_baseline()):
-        report = run_twice_and_diff(cell)
-        print(report.summary())
-        ok = ok and report.identical
+    for verdict in verdicts:
+        print(verdict["summary"])
+        ok = ok and verdict["identical"]
     print("determinism audit:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
     suite = run_suite(
         seed=args.seed,
         progress=(lambda msg: print(msg, file=sys.stderr))
         if args.verbose
         else None,
+        jobs=args.jobs,
+        cache=cache,
     )
     rows = [
         (
@@ -287,24 +333,40 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             title=f"Full suite, seed {suite.seed} ({len(rows)} cells)",
         )
     )
+    if cache is not None:
+        print(cache.summary())
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    import inspect
+
     fig_id = args.id
+    cache = _open_cache(args)
     if fig_id in _SUITE_FIGURES:
-        suite = run_suite(seed=args.seed)
+        suite = run_suite(seed=args.seed, jobs=args.jobs, cache=cache)
         fig = _SUITE_FIGURES[fig_id](suite)
     elif fig_id in _LEAD_FIGURES:
-        sweep = run_lead_sweep(seed=args.seed)
+        sweep = run_lead_sweep(seed=args.seed, jobs=args.jobs, cache=cache)
         fig = _LEAD_FIGURES[fig_id](sweep)
     elif fig_id in _STANDALONE_FIGURES:
-        fig = _STANDALONE_FIGURES[fig_id](seed=args.seed)
+        generator = _STANDALONE_FIGURES[fig_id]
+        # Generators batching independent runs take jobs/cache; the
+        # seed-only ones (findings, extensions) run as they always have.
+        kwargs = {}
+        accepted = inspect.signature(generator).parameters
+        if "jobs" in accepted:
+            kwargs["jobs"] = args.jobs
+        if "cache" in accepted:
+            kwargs["cache"] = cache
+        fig = generator(seed=args.seed, **kwargs)
     else:
         print(f"unknown figure {fig_id!r}; known: {FIGURE_IDS}",
               file=sys.stderr)
         return 2
     _print_figure(fig, scatter=args.scatter)
+    if cache is not None:
+        print(cache.summary())
     return 0 if fig.all_checks_pass else 1
 
 
@@ -351,6 +413,38 @@ def _cmd_report(args: argparse.Namespace) -> int:
     n_pass = sum(sum(f.checks.values()) for f in figures)
     print(f"wrote {args.output}: {n_pass}/{n_checks} checks pass")
     return 0 if n_pass == n_checks else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .perf.bench import compare_baseline, render_bench, run_bench
+
+    label = args.label or ("quick" if args.quick else "full")
+    report = run_bench(
+        label=label,
+        quick=args.quick,
+        jobs=args.jobs,
+        seed=args.seed,
+        output_dir=args.output_dir,
+    )
+    print(render_bench(report))
+    print(f"wrote {args.output_dir}/BENCH_{label}.json")
+    status = 0 if report["ok"] else 1
+    if args.baseline is not None:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = compare_baseline(
+            report, baseline, max_regress=args.max_regress
+        )
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print(f"no regression vs {args.baseline} "
+                  f"(threshold {args.max_regress:.0%})")
+    return status
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -683,6 +777,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="PLAN.json",
         help="fault plan to inject (see 'faults make')",
     )
+    _add_perf_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_audit = sub.add_parser(
@@ -704,11 +799,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="PLAN.json",
         help="audit determinism of a faulted run",
     )
+    p_audit.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="audit the prefetch and baseline cells in parallel "
+        "(audits never use the run cache)",
+    )
     p_audit.set_defaults(func=_cmd_audit)
 
     p_suite = sub.add_parser("suite", help="run the full paper mix")
     p_suite.add_argument("--seed", type=int, default=1)
     p_suite.add_argument("--verbose", action="store_true")
+    _add_perf_flags(p_suite)
     p_suite.set_defaults(func=_cmd_suite)
 
     p_fig = sub.add_parser("figure", help="regenerate one paper figure")
@@ -718,7 +819,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--scatter", action="store_true",
         help="also render the y=x ASCII scatter (paired figures)",
     )
+    _add_perf_flags(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the simulator and perf layer "
+        "(writes BENCH_<label>.json)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="small 3-cell suite (the CI smoke sizing) instead of the "
+        "full 46-cell mix",
+    )
+    p_bench.add_argument(
+        "--label", default=None,
+        help="report label (default: 'quick' or 'full')",
+    )
+    p_bench.add_argument("--jobs", type=int, default=4, metavar="N",
+                         help="worker fan-out for the parallel phase")
+    p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument(
+        "-o", "--output-dir", default="benchmarks",
+        help="directory for BENCH_<label>.json",
+    )
+    p_bench.add_argument(
+        "--baseline", default=None, metavar="BENCH.json",
+        help="compare events/sec against this committed report",
+    )
+    p_bench.add_argument(
+        "--max-regress", type=float, default=0.20,
+        help="maximum tolerated events/sec regression vs the baseline "
+        "(default 0.20 = 20%%)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_sweep = sub.add_parser(
         "sweep", help="sweep one ExperimentConfig parameter (paired runs)"

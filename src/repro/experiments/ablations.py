@@ -14,12 +14,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict
 
 from ..metrics.stats import percent_reduction
 from .config import ExperimentConfig
 from .figures import FigureData
-from .runner import run_experiment
 
 __all__ = [
     "ablation_numa_layout",
@@ -28,7 +27,9 @@ __all__ = [
 ]
 
 
-def ablation_numa_layout(seed: int = 1) -> FigureData:
+def ablation_numa_layout(
+    seed: int = 1, jobs: int = 1, cache=None
+) -> FigureData:
     """Replicated (optimized) vs naive shared-structure placement.
 
     Paper, Section V-D: "In our initial implementation, we found the
@@ -37,31 +38,44 @@ def ablation_numa_layout(seed: int = 1) -> FigureData:
     references."  The naive layout should show much slower prefetch
     actions and a worse total time.
     """
-    rows = []
-    results: Dict[str, Dict[str, float]] = {}
-    for name, replicated in (("optimized", True), ("naive", False)):
-        results[name] = {}
-        for prefetch in (True, False):
-            config = ExperimentConfig(
+    from ..perf.executor import execute_runs
+
+    variants = [
+        (name, replicated, prefetch)
+        for name, replicated in (("optimized", True), ("naive", False))
+        for prefetch in (True, False)
+    ]
+    batch = execute_runs(
+        [
+            ExperimentConfig(
                 pattern="gw",
                 sync_style="per-proc",
                 seed=seed,
                 prefetch=prefetch,
                 replicated_structures=replicated,
             )
-            r = run_experiment(config)
-            key = "prefetch" if prefetch else "baseline"
-            results[name][key] = r.total_time
-            rows.append(
-                (
-                    name,
-                    "yes" if prefetch else "no",
-                    r.total_time,
-                    r.avg_read_time,
-                    r.prefetch_action_mean,
-                    r.overrun_mean,
-                )
+            for _, replicated, prefetch in variants
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
+    rows = []
+    results: Dict[str, Dict[str, float]] = {}
+    for (name, replicated, prefetch), r in zip(variants, batch):
+        if name not in results:
+            results[name] = {}
+        key = "prefetch" if prefetch else "baseline"
+        results[name][key] = r.total_time
+        rows.append(
+            (
+                name,
+                "yes" if prefetch else "no",
+                r.total_time,
+                r.avg_read_time,
+                r.prefetch_action_mean,
+                r.overrun_mean,
             )
+        )
     gain_optimized = percent_reduction(
         results["optimized"]["baseline"], results["optimized"]["prefetch"]
     )
@@ -89,31 +103,46 @@ def ablation_numa_layout(seed: int = 1) -> FigureData:
     )
 
 
-def ablation_replacement(seed: int = 1) -> FigureData:
+def ablation_replacement(
+    seed: int = 1, jobs: int = 1, cache=None
+) -> FigureData:
     """RU-set (paper) vs global-LRU replacement.
 
     The RU set is a *locality* mechanism; for the paper's patterns it
     should roughly match global LRU's hit behaviour (the aggregate
     "enforces a global policy").
     """
-    rows = []
-    totals: Dict[str, Dict[str, float]] = {}
-    for pattern in ("gw", "lw", "lfp"):
-        totals[pattern] = {}
-        for replacement in ("ru-set", "global-lru"):
-            config = ExperimentConfig(
+    from ..perf.executor import execute_runs
+
+    variants = [
+        (pattern, replacement)
+        for pattern in ("gw", "lw", "lfp")
+        for replacement in ("ru-set", "global-lru")
+    ]
+    batch = execute_runs(
+        [
+            ExperimentConfig(
                 pattern=pattern,
                 sync_style="per-proc",
                 compute_mean=10.0 if pattern == "lw" else 30.0,
                 seed=seed,
                 replacement=replacement,
             )
-            r = run_experiment(config)
-            totals[pattern][replacement] = r.total_time
-            rows.append(
-                (pattern, replacement, r.total_time, r.hit_ratio,
-                 r.avg_read_time)
-            )
+            for pattern, replacement in variants
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
+    rows = []
+    totals: Dict[str, Dict[str, float]] = {}
+    for (pattern, replacement), r in zip(variants, batch):
+        if pattern not in totals:
+            totals[pattern] = {}
+        totals[pattern][replacement] = r.total_time
+        rows.append(
+            (pattern, replacement, r.total_time, r.hit_ratio,
+             r.avg_read_time)
+        )
     checks = {}
     for pattern, t in totals.items():
         ratio = t["ru-set"] / t["global-lru"]
@@ -130,25 +159,35 @@ def ablation_replacement(seed: int = 1) -> FigureData:
     )
 
 
-def ablation_file_layout(seed: int = 1) -> FigureData:
+def ablation_file_layout(
+    seed: int = 1, jobs: int = 1, cache=None
+) -> FigureData:
     """Round-robin interleaving vs striping vs hashed placement.
 
     Round-robin spreads consecutive blocks over consecutive disks, which
     is exactly what cooperating sequential readers need; coarse stripes
     serialize each run of ``stripe_width`` blocks behind one disk.
     """
-    rows = []
-    totals: Dict[str, float] = {}
-    for name, overrides in (
+    from ..perf.executor import execute_runs
+
+    variants = (
         ("round-robin", {"layout": "round-robin"}),
         ("striped-8", {"layout": "striped", "stripe_width": 8}),
         ("hashed", {"layout": "hashed"}),
-    ):
-        r = run_experiment(
+    )
+    batch = execute_runs(
+        [
             ExperimentConfig(
                 pattern="gw", sync_style="per-proc", seed=seed, **overrides
             )
-        )
+            for _, overrides in variants
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
+    rows = []
+    totals: Dict[str, float] = {}
+    for (name, _), r in zip(variants, batch):
         totals[name] = r.total_time
         rows.append(
             (name, r.total_time, r.avg_read_time, r.disk_response_mean)

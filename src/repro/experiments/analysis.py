@@ -18,8 +18,8 @@ recorded :class:`~repro.fs.trace.Trace` without re-running the simulator:
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Dict, List, Sequence
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List
 
 from ..fs.trace import Trace
 
@@ -114,7 +114,9 @@ def sequentiality(trace: Trace) -> Dict[str, float]:
     successor = 0
     monotone = 0
     high = refs[0]
-    recent: List[int] = [refs[0]]
+    # maxlen-bounded deque: appends evict the oldest entry in O(1),
+    # replacing the old append-then-pop(0) shift.
+    recent: Deque[int] = deque([refs[0]], maxlen=window)
     for block in refs[1:]:
         if any(block == r + 1 or block == r for r in recent):
             successor += 1
@@ -122,8 +124,6 @@ def sequentiality(trace: Trace) -> Dict[str, float]:
             monotone += 1
         high = max(high, block)
         recent.append(block)
-        if len(recent) > window:
-            recent.pop(0)
     n = len(refs) - 1
     return {
         "successor_fraction": successor / n,
@@ -159,18 +159,22 @@ def reuse_distances(trace: Trace) -> List[int]:
     disjoint sequential patterns (all distances are -1) but good for lw.
     """
     refs = _blocks_in_time_order(trace)
-    stack: List[int] = []
+    # The LRU stack mutates at its left end on every reference;
+    # deque.appendleft is O(1) where list.insert(0, ...) shifts the
+    # whole stack.  index() stays O(depth), which the measure needs
+    # anyway.
+    stack: Deque[int] = deque()
     out: List[int] = []
     for block in refs:
         try:
             depth = stack.index(block)
         except ValueError:
             out.append(-1)
-            stack.insert(0, block)
+            stack.appendleft(block)
             continue
         out.append(depth)
-        stack.pop(depth)
-        stack.insert(0, block)
+        del stack[depth]
+        stack.appendleft(block)
     return out
 
 

@@ -36,7 +36,6 @@ from ..faults.plan import (
 from ..workload.patterns import PATTERN_NAMES
 from .config import ExperimentConfig
 from .figures import FigureData
-from .runner import run_experiment, run_pair
 
 __all__ = [
     "CHAOS_INTENSITIES",
@@ -98,38 +97,52 @@ def chaos_config(
     )
 
 
-def chaos_prefetch_under_faults(seed: int = 1) -> FigureData:
+def chaos_prefetch_under_faults(
+    seed: int = 1, jobs: int = 1, cache=None
+) -> FigureData:
     """Sweep transient-error intensity across the paper's six patterns."""
+    from ..perf.executor import execute_pairs
+
+    cells = [
+        (pattern, intensity)
+        for pattern in PATTERN_NAMES
+        for intensity in CHAOS_INTENSITIES
+    ]
+    paired = execute_pairs(
+        [
+            chaos_config(pattern, intensity, seed=seed)
+            for pattern, intensity in cells
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
     rows: List[tuple] = []
     # Aggregates across patterns, keyed by intensity.
     total_by_intensity = {p: 0.0 for p in CHAOS_INTENSITIES}
     base_by_intensity = {p: 0.0 for p in CHAOS_INTENSITIES}
     errors_by_intensity = {p: 0 for p in CHAOS_INTENSITIES}
     retries_by_intensity = {p: 0 for p in CHAOS_INTENSITIES}
-    for pattern in PATTERN_NAMES:
-        for intensity in CHAOS_INTENSITIES:
-            config = chaos_config(pattern, intensity, seed=seed)
-            prefetch, baseline = run_pair(config)
-            total_by_intensity[intensity] += prefetch.total_time
-            base_by_intensity[intensity] += baseline.total_time
-            errors_by_intensity[intensity] += (
-                prefetch.disk_errors + baseline.disk_errors
+    for (pattern, intensity), (prefetch, baseline) in zip(cells, paired):
+        total_by_intensity[intensity] += prefetch.total_time
+        base_by_intensity[intensity] += baseline.total_time
+        errors_by_intensity[intensity] += (
+            prefetch.disk_errors + baseline.disk_errors
+        )
+        retries_by_intensity[intensity] += (
+            prefetch.disk_retries + baseline.disk_retries
+        )
+        rows.append(
+            (
+                pattern,
+                intensity,
+                baseline.total_time,
+                prefetch.total_time,
+                prefetch.disk_errors,
+                prefetch.disk_retries,
+                prefetch.read_p99,
+                prefetch.time_degraded,
             )
-            retries_by_intensity[intensity] += (
-                prefetch.disk_retries + baseline.disk_retries
-            )
-            rows.append(
-                (
-                    pattern,
-                    intensity,
-                    baseline.total_time,
-                    prefetch.total_time,
-                    prefetch.disk_errors,
-                    prefetch.disk_retries,
-                    prefetch.read_p99,
-                    prefetch.time_degraded,
-                )
-            )
+        )
     healthy, mid, high = CHAOS_INTENSITIES
     # Bounded retry amplification: with the default retry budget every
     # error costs at most one retry (transient errors rarely repeat at
@@ -172,7 +185,7 @@ def chaos_prefetch_under_faults(seed: int = 1) -> FigureData:
 
 
 def chaos_fail_stop(
-    pattern: str = "lfp", seed: int = 1
+    pattern: str = "lfp", seed: int = 1, jobs: int = 1, cache=None
 ) -> FigureData:
     """One disk fail-stops mid-run and later recovers.
 
@@ -183,8 +196,16 @@ def chaos_fail_stop(
     portions, shallow disk queues) so healthy disks never time out —
     failure isolation, checked below.  The large retry budget guarantees
     readers outlast the outage rather than exhausting mid-way.
+
+    The two stages depend on each other (the healthy span places the
+    outage), so ``jobs`` buys nothing here; ``cache`` still memoizes
+    both runs.
     """
-    healthy = run_experiment(chaos_config(pattern, 0.0, seed=seed))
+    from ..perf.executor import execute_runs
+
+    healthy = execute_runs(
+        [chaos_config(pattern, 0.0, seed=seed)], cache=cache
+    )[0]
     span = healthy.total_time
     victim = 0
     plan = FaultPlan(
@@ -199,9 +220,9 @@ def chaos_fail_stop(
         ),
         name=f"fail-stop-disk{victim}",
     )
-    faulted = run_experiment(
-        chaos_config(pattern, 0.0, seed=seed, faults=plan)
-    )
+    faulted = execute_runs(
+        [chaos_config(pattern, 0.0, seed=seed, faults=plan)], cache=cache
+    )[0]
     other_retries = sum(
         count
         for disk, count in faulted.retries_by_disk.items()

@@ -24,8 +24,8 @@ from ..metrics.stats import (
     percent_reduction,
 )
 from .config import ExperimentConfig
-from .runner import RunResult, run_experiment
-from .suite import PairResult, SuiteResults
+from .runner import RunResult
+from .suite import SuiteResults
 
 __all__ = [
     "FigureData",
@@ -408,6 +408,8 @@ def fig12_compute_sweep(
     seed: int = 1,
     compute_means: Sequence[float] = (0.0, 5.0, 10.0, 20.0, 30.0, 45.0,
                                       60.0, 90.0, 120.0),
+    jobs: int = 1,
+    cache=None,
 ) -> FigureData:
     """Fig. 12: total-time improvement vs per-block computation (gw,
     sync every 10 blocks/processor).
@@ -417,16 +419,20 @@ def fig12_compute_sweep(
     reaches 80%; prefetch actions get much faster when processors are
     busy computing (22 -> 5 ms).
     """
-    rows = []
-    for compute in compute_means:
-        config = ExperimentConfig(
+    from ..perf.executor import execute_pairs
+
+    configs = [
+        ExperimentConfig(
             pattern="gw",
             sync_style="per-proc",
             compute_mean=compute,
             seed=seed,
         )
-        pf = run_experiment(config)
-        base = run_experiment(config.paired_baseline())
+        for compute in compute_means
+    ]
+    paired = execute_pairs(configs, jobs=jobs, cache=cache)
+    rows = []
+    for compute, (pf, base) in zip(compute_means, paired):
         rows.append(
             (
                 compute,
@@ -506,6 +512,8 @@ def run_lead_sweep(
     leads: Sequence[int] = (0, 5, 10, 20, 45, 90),
     local_reads_per_node: int = 400,
     n_nodes: int = 20,
+    jobs: int = 1,
+    cache=None,
 ) -> LeadSweep:
     """Run the Section V-E experiment.
 
@@ -514,9 +522,13 @@ def run_lead_sweep(
     their total times by 20 for comparison.  We default to 400
     reads/process (leads up to 90 remain well under the string length)
     to keep the sweep tractable; pass 2000 for the paper's exact sizing.
+
+    ``jobs``/``cache`` batch every (pattern, lead) run through the
+    parallel, memoizing executor (see :mod:`repro.perf.executor`).
     """
-    runs: Dict[str, Dict[int, RunResult]] = {}
-    baselines: Dict[str, RunResult] = {}
+    from ..perf.executor import execute_runs
+
+    configs: List[ExperimentConfig] = []
     for pattern in LEAD_PATTERNS:
         local = pattern in ("lfp", "lw")
         total = local_reads_per_node * n_nodes if local else 2000
@@ -529,12 +541,20 @@ def run_lead_sweep(
             seed=seed,
             record_trace=False,
         )
-        baselines[pattern] = run_experiment(base_config.paired_baseline())
-        runs[pattern] = {}
+        configs.append(base_config.paired_baseline())
         for lead in leads:
-            runs[pattern][lead] = run_experiment(
-                base_config.with_overrides(lead=int(lead))
-            )
+            configs.append(base_config.with_overrides(lead=int(lead)))
+    results = execute_runs(configs, jobs=jobs, cache=cache)
+
+    runs: Dict[str, Dict[int, RunResult]] = {}
+    baselines: Dict[str, RunResult] = {}
+    per_pattern = 1 + len(leads)
+    for p, pattern in enumerate(LEAD_PATTERNS):
+        chunk = results[p * per_pattern:(p + 1) * per_pattern]
+        baselines[pattern] = chunk[0]
+        runs[pattern] = {
+            int(lead): chunk[1 + i] for i, lead in enumerate(leads)
+        }
     return LeadSweep(
         leads=list(int(x) for x in leads),
         runs=runs,

@@ -118,6 +118,10 @@ class RunResult:
     read_p50: float = 0.0
     read_p99: float = 0.0
 
+    #: Events scheduled by the run's environment (the benchmark
+    #: harness's throughput denominator).
+    n_events: int = 0
+
     # Fault injection (all zero / empty on healthy runs).
     disk_errors: int = 0
     disk_retries: int = 0
@@ -361,6 +365,7 @@ def run_materialized(
         read_p99=metrics.read_times.percentile(99.0)
         if metrics.read_times.count
         else 0.0,
+        n_events=env.event_count,
         disk_errors=metrics.total_disk_errors,
         disk_retries=metrics.total_retries,
         disk_timeouts=metrics.total_timeouts,
@@ -382,14 +387,28 @@ def run_materialized(
 
 def run_pair(
     config: ExperimentConfig,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> Tuple[RunResult, RunResult]:
     """Run ``config`` with prefetching and its paired baseline without.
 
     Returns ``(prefetch_result, baseline_result)``.  Both runs share the
     seed, so workload geometry and compute delays are identical.
+
+    ``jobs`` > 1 runs the two sides in separate worker processes and
+    ``cache`` memoizes them (see :mod:`repro.perf.executor`); the
+    defaults preserve the plain sequential in-process behaviour.
     """
     with_prefetch = (
         config if config.prefetch else config.with_overrides(prefetch=True)
     )
     baseline = with_prefetch.paired_baseline()
-    return run_experiment(with_prefetch), run_experiment(baseline)
+    if jobs <= 1 and cache is None:
+        return run_experiment(with_prefetch), run_experiment(baseline)
+    from ..perf.executor import execute_runs
+
+    pf, base = execute_runs(
+        [with_prefetch, baseline], jobs=jobs, cache=cache
+    )
+    return pf, base

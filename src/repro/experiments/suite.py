@@ -13,7 +13,7 @@ from typing import Callable, List, Optional
 
 from ..workload.suite import WorkloadSpec, standard_suite
 from .config import ExperimentConfig
-from .runner import RunResult, run_experiment
+from .runner import RunResult
 
 __all__ = ["PairResult", "SuiteResults", "run_suite", "config_for_spec"]
 
@@ -85,6 +85,9 @@ def run_suite(
     specs: Optional[List[WorkloadSpec]] = None,
     record_trace: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    cache=None,
+    stats=None,
     **config_overrides,
 ) -> SuiteResults:
     """Run the full paired suite (92 simulations at the paper's mix).
@@ -93,15 +96,24 @@ def run_suite(
     offline-analysis experiments and cost memory across 92 runs.
     Additional keyword arguments override :class:`ExperimentConfig`
     fields on every cell (useful for scaled-down suites in tests).
+
+    ``jobs`` > 1 fans the cells out to worker processes and ``cache``
+    (a :class:`~repro.perf.cache.RunCache`) memoizes completed runs;
+    both default off, reproducing sequential behaviour exactly (see
+    :mod:`repro.perf.executor`).
     """
+    from ..perf.executor import execute_pairs
+
     specs = specs if specs is not None else standard_suite()
-    pairs: List[PairResult] = []
-    for spec in specs:
-        config = config_for_spec(
+    configs = [
+        config_for_spec(
             spec, seed=seed, record_trace=record_trace, **config_overrides
         )
-        pf = run_experiment(config)
-        base = run_experiment(config.paired_baseline())
+        for spec in specs
+    ]
+    paired = execute_pairs(configs, jobs=jobs, cache=cache, stats=stats)
+    pairs: List[PairResult] = []
+    for spec, (pf, base) in zip(specs, paired):
         pairs.append(PairResult(spec=spec, prefetch=pf, baseline=base))
         if progress is not None:
             progress(

@@ -18,7 +18,7 @@ from typing import Any, List, Optional, Sequence
 
 from ..metrics.stats import percent_reduction
 from .config import ExperimentConfig
-from .runner import RunResult, run_experiment
+from .runner import RunResult
 
 __all__ = ["SweepPoint", "SweepResult", "run_sweep", "sweepable_fields"]
 
@@ -95,6 +95,8 @@ def run_sweep(
     values: Sequence[Any],
     base: Optional[ExperimentConfig] = None,
     share_baseline: bool = True,
+    jobs: int = 1,
+    cache=None,
 ) -> SweepResult:
     """Sweep ``param`` over ``values`` against ``base`` (paired runs).
 
@@ -102,6 +104,10 @@ def run_sweep(
     (lead, policy, min_prefetch_time, prefetch_buffers_per_node,
     prefetch_unused_limit), the no-prefetch baseline is identical across
     values and is run once.
+
+    ``jobs``/``cache`` route the whole sweep through the parallel,
+    memoizing executor (see :mod:`repro.perf.executor`); defaults
+    preserve the sequential behaviour.
     """
     if param not in sweepable_fields():
         raise ValueError(
@@ -111,6 +117,8 @@ def run_sweep(
         raise ValueError("values must be non-empty")
     base = base if base is not None else ExperimentConfig()
 
+    from ..perf.executor import execute_runs
+
     prefetch_only = param in (
         "lead",
         "policy",
@@ -118,18 +126,25 @@ def run_sweep(
         "prefetch_buffers_per_node",
         "prefetch_unused_limit",
     )
-    shared_baseline: Optional[RunResult] = None
-    if share_baseline and prefetch_only:
-        shared_baseline = run_experiment(base.paired_baseline())
+    shared = share_baseline and prefetch_only
 
-    points: List[SweepPoint] = []
+    configs: List[ExperimentConfig] = []
     for value in values:
         config = base.with_overrides(**{param: value, "prefetch": True})
-        pf = run_experiment(config)
-        if shared_baseline is not None:
-            bl = shared_baseline
-        else:
-            bl = run_experiment(config.paired_baseline())
+        configs.append(config)
+        if not shared:
+            configs.append(config.paired_baseline())
+    if shared:
+        configs.append(base.paired_baseline())
+
+    results = execute_runs(configs, jobs=jobs, cache=cache)
+
+    points: List[SweepPoint] = []
+    shared_baseline: Optional[RunResult] = results[-1] if shared else None
+    step = 1 if shared else 2
+    for i, value in enumerate(values):
+        pf = results[i * step]
+        bl = shared_baseline if shared else results[i * step + 1]
         points.append(
             SweepPoint(param=param, value=value, prefetch=pf, baseline=bl)
         )

@@ -1,0 +1,84 @@
+"""Content-addressed identities for experiment runs.
+
+A run is a pure function of ``(ExperimentConfig, simulator source)``: the
+config fixes every parameter including the seed and the fault plan, and
+the source fixes the semantics.  Hashing both therefore names the result
+before it exists — the key the run cache and the parallel executor both
+address by.
+
+Digests are blake2b over canonical JSON (sorted keys, no whitespace);
+floats round-trip exactly through ``repr``, so two configs digest equal
+iff they compare equal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from hashlib import blake2b
+from pathlib import Path
+from typing import Any, Optional
+
+from ..experiments.config import ExperimentConfig
+
+__all__ = ["canonical_json", "code_fingerprint", "config_digest", "run_key"]
+
+#: blake2b digest size in bytes (32 hex characters).
+_DIGEST_SIZE = 16
+
+#: ``src/repro`` — the tree whose contents the code fingerprint covers.
+_PACKAGE_ROOT = Path(__file__).resolve().parents[1]
+
+_fingerprint: Optional[str] = None
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, compact separators."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def config_digest(config: ExperimentConfig) -> str:
+    """Stable hex digest of every field of ``config``.
+
+    The nested fault plan is folded in via its own digest (the PR 3
+    provenance key) so a plan loaded from JSON and one built in code
+    digest identically when they describe the same faults.
+    """
+    data = asdict(config)
+    data["faults"] = (
+        config.faults.digest if config.faults is not None else None
+    )
+    payload = canonical_json(data)
+    return blake2b(
+        payload.encode("utf-8"), digest_size=_DIGEST_SIZE
+    ).hexdigest()
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``*.py`` under ``src/repro`` (paths and contents).
+
+    Any source change — even a comment — invalidates cached results;
+    correctness is cheap here because a full cache rebuild is just one
+    suite run.  Computed once per process.
+    """
+    global _fingerprint
+    if _fingerprint is None:
+        h = blake2b(digest_size=_DIGEST_SIZE)
+        for path in sorted(_PACKAGE_ROOT.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            h.update(str(path.relative_to(_PACKAGE_ROOT)).encode("utf-8"))
+            h.update(b"\x00")
+            h.update(path.read_bytes())
+            h.update(b"\x00")
+        _fingerprint = h.hexdigest()
+    return _fingerprint
+
+
+def run_key(config: ExperimentConfig) -> str:
+    """The cache key: (config digest, fault-plan digest, code fingerprint)."""
+    fault = config.faults.digest if config.faults is not None else "healthy"
+    material = ":".join((config_digest(config), fault, code_fingerprint()))
+    return blake2b(
+        material.encode("utf-8"), digest_size=_DIGEST_SIZE
+    ).hexdigest()

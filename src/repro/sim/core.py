@@ -51,6 +51,8 @@ class Environment:
         Starting value of the simulation clock (milliseconds).
     """
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_proc", "_step_observers")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
@@ -64,6 +66,11 @@ class Environment:
     def now(self) -> float:
         """Current simulation time in milliseconds."""
         return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Events scheduled so far (the benchmark harness's event total)."""
+        return self._eid
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -135,9 +142,11 @@ class Environment:
         except IndexError:
             raise EmptySchedule() from None
 
-        if self._step_observers:
-            for observer in self._step_observers:
-                observer(self._now, priority, sequence, event)
+        observers = self._step_observers
+        if observers:
+            now = self._now
+            for observer in observers:
+                observer(now, priority, sequence, event)
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
@@ -184,9 +193,13 @@ class Environment:
                 raise until.value
             until.callbacks.append(StopSimulation.callback)
 
+        # The run loop is the hottest code in the system: every simulated
+        # event passes through it.  Hoisting the bound method avoids a
+        # per-event attribute lookup without changing behaviour.
+        step = self.step
         try:
             while True:
-                self.step()
+                step()
         except StopSimulation as stop:
             return stop.args[0]
         except EmptySchedule:

@@ -23,6 +23,7 @@ request supports :meth:`~BaseRequest.cancel`.
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
@@ -123,13 +124,26 @@ class Resource:
     usage, accumulated at release).
     """
 
+    __slots__ = (
+        "env",
+        "capacity",
+        "users",
+        "_queue",
+        "total_wait",
+        "grants",
+        "busy_time",
+        "_request_times",
+    )
+
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity {capacity} must be positive")
         self.env = env
         self.capacity = capacity
         self.users: list[Request] = []
-        self._queue: list[Request] = []
+        #: FIFO wait queue; a deque so granting is O(1) per request
+        #: instead of the O(n) shift of ``list.pop(0)``.
+        self._queue: deque[Request] = deque()
         self.total_wait = 0.0
         self.grants = 0
         self.busy_time = 0.0
@@ -165,7 +179,7 @@ class Resource:
 
     def _trigger(self) -> None:
         while self._queue and len(self.users) < self.capacity:
-            req = self._queue.pop(0)
+            req = self._queue.popleft()
             self.users.append(req)
             req.usage_since = self.env.now
             started = self._request_times.pop(id(req), self.env.now)
@@ -203,6 +217,8 @@ class PriorityRequest(BaseRequest):
 
 class PriorityResource:
     """Like :class:`Resource`, but waiters are granted by priority."""
+
+    __slots__ = ("env", "capacity", "users", "_heap", "_seq", "_cancelled")
 
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity <= 0:
@@ -298,6 +314,8 @@ class ContainerGet(BaseRequest):
 class Container:
     """A quantity with blocking ``put``/``get`` and an optional capacity."""
 
+    __slots__ = ("env", "capacity", "_level", "_put_queue", "_get_queue")
+
     def __init__(
         self,
         env: "Environment",
@@ -311,8 +329,8 @@ class Container:
         self.env = env
         self.capacity = capacity
         self._level = float(init)
-        self._put_queue: list[ContainerPut] = []
-        self._get_queue: list[ContainerGet] = []
+        self._put_queue: deque[ContainerPut] = deque()
+        self._get_queue: deque[ContainerGet] = deque()
 
     @property
     def level(self) -> float:
@@ -332,14 +350,14 @@ class Container:
             if self._put_queue:
                 put = self._put_queue[0]
                 if self._level + put.amount <= self.capacity:
-                    self._put_queue.pop(0)
+                    self._put_queue.popleft()
                     self._level += put.amount
                     put.succeed()
                     progressed = True
             if self._get_queue:
                 get = self._get_queue[0]
                 if self._level >= get.amount:
-                    self._get_queue.pop(0)
+                    self._get_queue.popleft()
                     self._level -= get.amount
                     get.succeed(get.amount)
                     progressed = True
@@ -397,7 +415,17 @@ class StoreGet(BaseRequest):
 
 
 class Store:
-    """FIFO queue of items with blocking ``put``/``get``."""
+    """FIFO queue of items with blocking ``put``/``get``.
+
+    ``items`` and both wait queues are :class:`collections.deque`\\ s: the
+    hot paths (unfiltered get, put hand-off) pop from the left, which a
+    list makes O(n) per operation.  The filtered-get scan keeps the exact
+    FilterStore semantics — getters are visited in FIFO order, each takes
+    the first matching item, non-matching getters are skipped in place —
+    via an index cursor over the deque.
+    """
+
+    __slots__ = ("env", "capacity", "items", "_put_queue", "_get_queue")
 
     def __init__(
         self, env: "Environment", capacity: float = float("inf")
@@ -406,9 +434,9 @@ class Store:
             raise ValueError(f"capacity {capacity} must be positive")
         self.env = env
         self.capacity = capacity
-        self.items: list[Any] = []
-        self._put_queue: list[StorePut] = []
-        self._get_queue: list[StoreGet] = []
+        self.items: deque[Any] = deque()
+        self._put_queue: deque[StorePut] = deque()
+        self._get_queue: deque[StoreGet] = deque()
 
     def __len__(self) -> int:
         return len(self.items)
@@ -426,7 +454,7 @@ class Store:
         while progressed:
             progressed = False
             while self._put_queue and len(self.items) < self.capacity:
-                put = self._put_queue.pop(0)
+                put = self._put_queue.popleft()
                 self.items.append(put.item)
                 put.succeed()
                 progressed = True
@@ -435,15 +463,15 @@ class Store:
             while idx < len(self._get_queue) and self.items:
                 get = self._get_queue[idx]
                 if get.filter is None:
-                    item = self.items.pop(0)
-                    self._get_queue.pop(idx)
+                    item = self.items.popleft()
+                    del self._get_queue[idx]
                     get.succeed(item)
                     progressed = True
                     continue
                 for j, item in enumerate(self.items):
                     if get.filter(item):
-                        self.items.pop(j)
-                        self._get_queue.pop(idx)
+                        del self.items[j]
+                        del self._get_queue[idx]
                         get.succeed(item)
                         progressed = True
                         break

@@ -3,9 +3,7 @@ syntax, path classification, CLI behaviour, and the shipped-tree gate."""
 
 from pathlib import Path
 
-import pytest
-
-from repro.analysis.simlint import lint_file, lint_paths, main
+from repro.analysis.simlint import collect_files, lint_file, lint_paths, main
 
 SRC = Path(__file__).resolve().parents[2] / "src"
 
@@ -191,6 +189,64 @@ def test_invariant_call_clean(tmp_path):
     assert findings == []
 
 
+# -------------------------------------------------------------- queues rule
+
+
+def test_queues_flags_pop_zero(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "def f(q):\n    return q.pop(0)\n", rel="repro/sim/a.py"
+    )
+    assert _rules(findings) == ["queues"]
+    assert "popleft" in findings[0].message
+
+
+def test_queues_flags_insert_zero(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "def f(q, x):\n    q.insert(0, x)\n",
+        rel="repro/perf/a.py",
+    )
+    assert _rules(findings) == ["queues"]
+    assert "appendleft" in findings[0].message
+
+
+def test_queues_negative_other_indices_clean(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "def f(q, x):\n"
+        "    a = q.pop()\n"
+        "    b = q.pop(1)\n"
+        "    q.insert(2, x)\n"
+        "    return a, b\n",
+        rel="repro/sim/a.py",
+    )
+    assert findings == []
+
+
+def test_queues_only_in_sim_critical_packages(tmp_path):
+    source = "def f(q):\n    return q.pop(0)\n"
+    assert _lint_snippet(tmp_path, source, rel="repro/metrics/a.py") == []
+    assert _lint_snippet(tmp_path, source, rel="repro/prefetch/a.py") != []
+
+
+def test_queues_suppression(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "def f(q):\n    return q.pop(0)  # simlint: allow-queues\n",
+        rel="repro/sim/a.py",
+    )
+    assert findings == []
+
+
+def test_perf_package_is_sim_critical(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "import time\n\ndef f():\n    return time.time()\n",
+        rel="repro/perf/a.py",
+    )
+    assert "wallclock" in _rules(findings)
+
+
 # -------------------------------------------------------- driver behaviour
 
 
@@ -227,6 +283,26 @@ def test_main_exit_codes(tmp_path, capsys):
     assert main(["--list-rules"]) == 0
     assert main(["--select", "nope", str(tmp_path)]) == 2
     assert main(["--select", "rng", str(tmp_path)]) == 0
+
+
+def test_pycache_and_pyc_excluded(tmp_path):
+    """Bytecode caches never reach the parser, whether discovered via a
+    directory walk or passed explicitly as files."""
+    pkg = tmp_path / "repro" / "fs"
+    cache = pkg / "__pycache__"
+    cache.mkdir(parents=True)
+    (pkg / "ok.py").write_text("x = 1\n")
+    # A stale source copy inside __pycache__ and a binary .pyc: both are
+    # noise that previously crashed or double-reported the walk.
+    stale = cache / "ok.py"
+    stale.write_text("import random\n")
+    pyc = cache / "ok.cpython-311.pyc"
+    pyc.write_bytes(b"\x00\x01\x02not python source")
+
+    assert lint_paths([tmp_path]) == []
+    assert lint_paths([stale]) == []
+    assert lint_paths([pyc]) == []
+    assert [p for p, _ in collect_files([tmp_path])] == [pkg / "ok.py"]
 
 
 def test_injected_violation_in_fs_is_caught(tmp_path):

@@ -1,0 +1,80 @@
+"""Run cache: slim round-trip, counters, corruption tolerance, opening."""
+
+import json
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.perf.cache import CACHE_DIR_ENV, RunCache, open_cache
+from repro.perf.digest import run_key
+from repro.perf.serialize import result_to_dict, results_digest
+
+TINY = dict(n_nodes=2, n_disks=2, file_blocks=64, total_reads=64)
+
+
+def _config(**overrides):
+    base = dict(pattern="gw", sync_style="per-proc", seed=1, **TINY)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def test_round_trip_preserves_every_measure(tmp_path):
+    config = _config()
+    result = run_experiment(config)
+    cache = RunCache(tmp_path)
+    cache.put(config, result)
+    got = cache.get(config)
+    assert got is not None
+    # Slim: raw handles dropped, every scalar measure identical.
+    assert got.metrics is None and got.trace is None
+    assert result_to_dict(got) == result_to_dict(result)
+    assert results_digest([got]) == results_digest([result])
+    # Restored dict fields keep integer keys.
+    assert all(isinstance(k, int) for k in got.errors_by_disk)
+
+
+def test_counters_and_summary(tmp_path):
+    config = _config()
+    cache = RunCache(tmp_path)
+    assert cache.get(config) is None
+    assert (cache.hits, cache.misses, cache.hit_rate) == (0, 1, 0.0)
+    cache.put(config, run_experiment(config))
+    assert cache.get(config) is not None
+    assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+    assert cache.hit_rate == 0.5
+    assert "1/2 hits, 1 stored" in cache.summary()
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    config = _config()
+    cache = RunCache(tmp_path)
+    cache.put(config, run_experiment(config))
+    entry = cache.cache_dir / f"run-v1-{run_key(config)}.json"
+    entry.write_text("{not json", encoding="utf-8")
+    assert cache.get(config) is None
+
+
+def test_entries_keyed_by_config(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.put(_config(), run_experiment(_config()))
+    assert cache.get(_config(seed=2)) is None
+
+
+def test_entry_is_valid_json_with_label(tmp_path):
+    config = _config()
+    cache = RunCache(tmp_path)
+    cache.put(config, run_experiment(config))
+    entry = cache.cache_dir / f"run-v1-{run_key(config)}.json"
+    data = json.loads(entry.read_text(encoding="utf-8"))
+    assert data["format"] == 1
+    assert data["label"] == config.label
+
+
+def test_open_cache_precedence(tmp_path, monkeypatch):
+    monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+    assert open_cache() is None
+    assert open_cache(tmp_path / "a").cache_dir == tmp_path / "a"
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+    assert open_cache().cache_dir == tmp_path / "env"
+    # Explicit directory beats the environment; --no-cache beats both.
+    assert open_cache(tmp_path / "a").cache_dir == tmp_path / "a"
+    assert open_cache(tmp_path / "a", no_cache=True) is None

@@ -1,0 +1,62 @@
+"""Content-addressed identities: stability, sensitivity, fault plans."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.faults.plan import FailStop, FaultPlan
+from repro.perf.digest import (
+    canonical_json,
+    code_fingerprint,
+    config_digest,
+    run_key,
+)
+
+TINY = dict(n_nodes=2, n_disks=2, file_blocks=64, total_reads=64)
+
+
+def _config(**overrides):
+    base = dict(pattern="gw", sync_style="per-proc", seed=1, **TINY)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def test_canonical_json_is_order_insensitive():
+    assert canonical_json({"b": 1, "a": [2, 3]}) == canonical_json(
+        {"a": [2, 3], "b": 1}
+    )
+    assert " " not in canonical_json({"a": {"b": 1}})
+
+
+def test_config_digest_stable_across_equal_configs():
+    assert config_digest(_config()) == config_digest(_config())
+
+
+def test_config_digest_sensitive_to_every_override():
+    base = config_digest(_config())
+    for override in (
+        {"seed": 2},
+        {"pattern": "lfp", "sync_style": "none"},
+        {"prefetch": False},
+        {"total_reads": 65},
+    ):
+        assert config_digest(_config(**override)) != base, override
+
+
+def test_config_digest_folds_in_fault_plan():
+    plan = FaultPlan(faults=(FailStop(disk=0, at=50.0),))
+    faulty = _config(faults=plan)
+    assert config_digest(faulty) != config_digest(_config())
+    # Two structurally equal plans digest identically.
+    again = _config(faults=FaultPlan(faults=(FailStop(disk=0, at=50.0),)))
+    assert config_digest(faulty) == config_digest(again)
+
+
+def test_code_fingerprint_memoized_and_hexadecimal():
+    fp = code_fingerprint()
+    assert fp == code_fingerprint()
+    assert len(fp) == 32
+    int(fp, 16)  # raises if not hex
+
+
+def test_run_key_distinct_from_config_digest():
+    config = _config()
+    assert run_key(config) != config_digest(config)
+    assert run_key(config) == run_key(_config())

@@ -368,7 +368,7 @@ def test_store_filtered_get():
     env.process(consumer())
     env.run()
     assert got == [2]
-    assert store.items == [{"kind": "demand", "block": 1}]
+    assert list(store.items) == [{"kind": "demand", "block": 1}]
 
 
 def test_store_filtered_getter_does_not_starve_later_getters():
