@@ -22,7 +22,7 @@ Run from the command line via ``rapid-transit audit`` or
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
 
 from ..sim.core import Environment
 from ..sim.process import ProcessGenerator
@@ -37,7 +37,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..experiments.config import ExperimentConfig
     from ..experiments.runner import RunResult
     from ..fs.cache import BlockCache
+    from ..fs.fileserver import FileServer
     from ..machine.machine import Machine
+    from ..obs.recorder import ObsData
+    from ..sim.process import Process
 
 __all__ = [
     "AuditReport",
@@ -103,6 +106,37 @@ class Auditor:
             self.invariant_sweeps += 1
 
 
+class _CompositeInstrumentation:
+    """Fan the runner's instrumentation hooks out to several receivers.
+
+    Used when a run is both audited and observed: the auditor and the
+    observability recorder each get every hook, in registration order.
+    Receivers without an ``on_apps`` hook are skipped for that call
+    (the hook is optional in the RunInstrumentation protocol).
+    """
+
+    def __init__(self, *parts: Any) -> None:
+        self.parts: Tuple[Any, ...] = parts
+
+    def on_environment(self, env: Environment) -> None:
+        for part in self.parts:
+            part.on_environment(env)
+
+    def on_wired(
+        self, env: Environment, machine: "Machine", cache: "BlockCache"
+    ) -> None:
+        for part in self.parts:
+            part.on_wired(env, machine, cache)
+
+    def on_apps(
+        self, env: Environment, server: "FileServer", apps: List["Process"]
+    ) -> None:
+        for part in self.parts:
+            hook = getattr(part, "on_apps", None)
+            if hook is not None:
+                hook(env, server, apps)
+
+
 @dataclass
 class AuditReport:
     """Everything one audited run proved about itself."""
@@ -114,18 +148,36 @@ class AuditReport:
     collisions: List[ResourceCollision]
     invariant_sweeps: int
     result: "RunResult" = field(repr=False)
+    #: Observability payload when the run was audited with ``obs=True``;
+    #: ``None`` otherwise.
+    obs_data: Optional["ObsData"] = field(default=None, repr=False)
 
 
 def run_with_audit(
     config: "ExperimentConfig",
     sweep_interval: Optional[float] = DEFAULT_SWEEP_INTERVAL,
+    obs: bool = False,
 ) -> AuditReport:
-    """Run ``config`` under a fresh :class:`Auditor`."""
+    """Run ``config`` under a fresh :class:`Auditor`.
+
+    With ``obs=True`` an :class:`~repro.obs.recorder.ObsRecorder` rides
+    along on the same run; because its hooks are passive, the trace
+    digest must be identical with and without it — that equivalence is
+    itself part of the observability layer's test suite.
+    """
     from ..experiments.runner import run_experiment
 
     auditor = Auditor(sweep_interval=sweep_interval)
-    result = run_experiment(config, instrument=auditor)
+    recorder = None
+    instrument: Any = auditor
+    if obs:
+        from ..obs.recorder import ObsRecorder
+
+        recorder = ObsRecorder()
+        instrument = _CompositeInstrumentation(auditor, recorder)
+    result = run_experiment(config, instrument=instrument)
     auditor.race_log.finish()
+    obs_data = recorder.finalize(result) if recorder is not None else None
     return AuditReport(
         label=config.label,
         trace_digest=auditor.trace_hash.hexdigest(),
@@ -134,6 +186,7 @@ def run_with_audit(
         collisions=list(auditor.race_log.collisions),
         invariant_sweeps=auditor.invariant_sweeps,
         result=result,
+        obs_data=obs_data,
     )
 
 
@@ -172,6 +225,7 @@ class DeterminismReport:
 def run_twice_and_diff(
     config: "ExperimentConfig",
     sweep_interval: Optional[float] = DEFAULT_SWEEP_INTERVAL,
+    obs: bool = False,
 ) -> DeterminismReport:
     """Prove (or refute) seed-stability of ``config``.
 
@@ -180,7 +234,11 @@ def run_twice_and_diff(
     means some draw, iteration order, or tie-break differed between two
     executions of the same seed — exactly the silent nondeterminism the
     paper's paired-run methodology cannot tolerate.
+
+    With ``obs=True`` both runs carry the observability recorder, so an
+    identical verdict additionally proves span tracing and timeline
+    sampling do not perturb the schedule.
     """
-    first = run_with_audit(config, sweep_interval=sweep_interval)
-    second = run_with_audit(config, sweep_interval=sweep_interval)
+    first = run_with_audit(config, sweep_interval=sweep_interval, obs=obs)
+    second = run_with_audit(config, sweep_interval=sweep_interval, obs=obs)
     return DeterminismReport(label=config.label, first=first, second=second)

@@ -42,6 +42,7 @@ SIM_CRITICAL_PARTS = frozenset(
         "traces",
         "faults",
         "perf",
+        "obs",
     }
 )
 

@@ -32,11 +32,20 @@ Subcommands:
   mixed), ``trace import`` adapts external block-trace CSVs,
   ``trace replay`` drives a trace through the full simulator as a paired
   prefetch on/off comparison (``--audit`` replays twice and diffs event
-  hashes), and ``trace stats`` summarizes a trace file.
+  hashes), and ``trace stats`` summarizes a trace file;
+* ``obs``     — the observability layer (see docs/obs.md):
+  ``obs export`` runs one cell under the span tracer and writes a
+  Chrome/Perfetto trace-event JSON (``--format csv`` writes metric
+  timelines + spans as CSV instead), ``obs timeline`` renders the span
+  timeline as ASCII lanes, and ``obs attribute`` decomposes each node's
+  wall time into compute / demand-I/O stall / sync wait / daemon theft
+  for a paired comparison.
 
 ``run --audit`` additionally runs the paired comparison under the runtime
 auditor: event-trace hashing, the simultaneous-event race detector, and
-periodic cache/disk invariant sweeps.
+periodic cache/disk invariant sweeps.  ``run --obs`` appends the per-node
+bottleneck-attribution tables; ``audit --obs`` carries the observability
+recorder through both audited runs, proving tracing is schedule-neutral.
 
 ``run``, ``suite``, and ``figure`` accept ``--jobs N`` (fan independent
 simulations out to N worker processes), ``--cache-dir DIR`` and
@@ -96,6 +105,9 @@ from .faults.plan import (
     TransientErrors,
 )
 from .metrics.report import (
+    ATTRIBUTION_COLUMNS,
+    attribution_rows,
+    attribution_summary,
     fault_measure_rows,
     paired_measure_rows,
     render_table,
@@ -214,6 +226,21 @@ def _open_cache(args: argparse.Namespace):
     )
 
 
+def _print_attribution(base, pf) -> None:
+    """Per-node wall-time attribution tables for a paired comparison."""
+    for tag, result in (("no-prefetch", base), ("prefetch", pf)):
+        print()
+        print(
+            render_table(
+                ATTRIBUTION_COLUMNS,
+                attribution_rows(result),
+                title=f"wall-time attribution [{tag}] "
+                f"(obs digest {result.obs_digest})",
+            )
+        )
+        print(attribution_summary(result))
+
+
 def _print_fault_summary(base, pf) -> None:
     print()
     print(
@@ -265,6 +292,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if faults is not None:
         _print_fault_summary(base, pf)
+    if args.obs:
+        _print_attribution(base, pf)
     for report in audits:
         _print_audit(report)
     if cache is not None:
@@ -288,13 +317,14 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         faults=_load_faults(args),
     )
     verdicts = execute_audits(
-        [config, config.paired_baseline()], jobs=args.jobs
+        [config, config.paired_baseline()], jobs=args.jobs, obs=args.obs
     )
     ok = True
     for verdict in verdicts:
         print(verdict["summary"])
         ok = ok and verdict["identical"]
-    print("determinism audit:", "PASS" if ok else "FAIL")
+    tag = " (with observability recorder attached)" if args.obs else ""
+    print(f"determinism audit{tag}:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
 
 
@@ -633,6 +663,98 @@ def _cmd_trace_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_config(args: argparse.Namespace) -> ExperimentConfig:
+    """The experiment cell an ``obs`` subcommand describes."""
+    return ExperimentConfig(
+        pattern=args.pattern,
+        sync_style=args.sync,
+        compute_mean=args.compute,
+        seed=args.seed,
+        policy=args.policy,
+        lead=args.lead,
+        prefetch=not getattr(args, "no_prefetch", False),
+        n_nodes=args.nodes,
+        n_disks=args.disks,
+        file_blocks=args.file_blocks,
+        total_reads=args.reads,
+        faults=_load_faults(args),
+    )
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import (
+        run_with_obs,
+        spans_to_csv,
+        timelines_to_csv,
+        to_perfetto,
+        validate_perfetto,
+    )
+
+    config = _obs_config(args)
+    result, data = run_with_obs(config, sample_interval=args.interval)
+    if args.format == "perfetto":
+        payload = to_perfetto(data)
+        if args.validate:
+            errors = validate_perfetto(payload)
+            for error in errors:
+                print(f"INVALID {error}", file=sys.stderr)
+            if errors:
+                return 1
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        print(
+            f"wrote {args.output}: {len(payload['traceEvents'])} trace "
+            f"events ({len(data.spans.spans)} spans on "
+            f"{len(data.spans.tracks())} tracks), obs digest {data.digest}"
+        )
+        print("open it at https://ui.perfetto.dev or chrome://tracing")
+    else:
+        spans_path = args.output + ".spans.csv"
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(timelines_to_csv(data.timelines))
+        with open(spans_path, "w", encoding="utf-8") as fh:
+            fh.write(spans_to_csv(data.spans))
+        print(
+            f"wrote {args.output} (metric timelines) and {spans_path} "
+            f"({len(data.spans.spans)} spans), obs digest {data.digest}"
+        )
+    print(
+        f"[{config.label}] total time {result.total_time:.1f} ms, "
+        f"{result.n_events} events"
+    )
+    return 0
+
+
+def _cmd_obs_timeline(args: argparse.Namespace) -> int:
+    from .obs import render_ascii, run_with_obs, timelines_to_csv
+
+    config = _obs_config(args)
+    _, data = run_with_obs(config, sample_interval=args.interval)
+    print(render_ascii(data, width=args.width))
+    if args.csv is not None:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(timelines_to_csv(data.timelines))
+        print(f"wrote metric timelines to {args.csv}")
+    return 0
+
+
+def _cmd_obs_attribute(args: argparse.Namespace) -> int:
+    config = _obs_config(args)
+    cache = _open_cache(args)
+    pf, base = run_pair(config, jobs=args.jobs, cache=cache)
+    print(
+        f"bottleneck attribution for {config.pattern}/{config.sync_style}/"
+        f"{config.intensity} (seed {config.seed}): wall = compute + "
+        "demand stall + sync wait + daemon theft, per node"
+    )
+    _print_attribution(base, pf)
+    if cache is not None:
+        print(cache.summary())
+    return 0
+
+
 def _parse_fault_spec(kind: str, raw: str) -> FaultSpec:
     """One ``--fail-stop``/``--fail-slow``/``--transient``/``--hot-spot``
     value: colon-separated numbers, disk id first (see ``faults make -h``).
@@ -768,6 +890,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under the determinism auditor: event-trace hashing, "
         "race detection, periodic invariant sweeps",
     )
+    p_run.add_argument(
+        "--obs", action="store_true",
+        help="append the per-node wall-time attribution tables "
+        "(compute / demand stall / sync wait / daemon theft)",
+    )
     p_run.add_argument("--nodes", type=int, default=20)
     p_run.add_argument("--disks", type=int, default=20)
     p_run.add_argument("--file-blocks", type=int, default=2000)
@@ -803,6 +930,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="audit the prefetch and baseline cells in parallel "
         "(audits never use the run cache)",
+    )
+    p_audit.add_argument(
+        "--obs", action="store_true",
+        help="attach the observability recorder to every audited run; "
+        "an identical verdict then also proves span tracing and "
+        "timeline sampling are schedule-neutral",
     )
     p_audit.set_defaults(func=_cmd_audit)
 
@@ -974,6 +1107,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("trace", help="replay trace file")
     p_stats.set_defaults(func=_cmd_trace_stats)
+
+    def add_obs_cell_flags(p: argparse.ArgumentParser) -> None:
+        """The experiment-cell flags every ``obs`` verb shares.
+
+        Defaults are the audit sizing (small machine, short run): obs
+        verbs are exploratory tools, and a 4x4 cell already exhibits
+        every span kind.
+        """
+        p.add_argument("--pattern", choices=PATTERN_NAMES, default="gw")
+        p.add_argument("--sync", choices=SYNC_STYLES, default="per-proc")
+        p.add_argument("--compute", type=float, default=30.0)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--policy", default="oracle",
+                       choices=["oracle", "obl", "portion", "global-seq"])
+        p.add_argument("--lead", type=int, default=0)
+        p.add_argument("--nodes", type=int, default=4)
+        p.add_argument("--disks", type=int, default=4)
+        p.add_argument("--file-blocks", type=int, default=400)
+        p.add_argument("--reads", type=int, default=400)
+        p.add_argument(
+            "--faults", default=None, metavar="PLAN.json",
+            help="observe a faulted run",
+        )
+        p.add_argument(
+            "--interval", type=float, default=50.0, metavar="MS",
+            help="metric-timeline sampling interval in simulated ms "
+            "(default 50)",
+        )
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="span tracing, metric timelines, Perfetto export, and "
+        "bottleneck attribution",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_oexp = obs_sub.add_parser(
+        "export",
+        help="run one cell under the span tracer and export the trace",
+    )
+    p_oexp.add_argument("-o", "--output", required=True,
+                        help="output file (trace JSON or timelines CSV)")
+    p_oexp.add_argument(
+        "--format", choices=["perfetto", "csv"], default="perfetto",
+        help="perfetto: Chrome trace-event JSON (default); csv: metric "
+        "timelines to OUTPUT plus spans to OUTPUT.spans.csv",
+    )
+    p_oexp.add_argument(
+        "--validate", action="store_true",
+        help="schema-check the Perfetto payload before writing "
+        "(exit 1 and write nothing on violations)",
+    )
+    p_oexp.add_argument(
+        "--no-prefetch", action="store_true",
+        help="observe the no-prefetch baseline instead",
+    )
+    add_obs_cell_flags(p_oexp)
+    p_oexp.set_defaults(func=_cmd_obs_export)
+
+    p_otl = obs_sub.add_parser(
+        "timeline", help="render the span timeline as ASCII lanes"
+    )
+    p_otl.add_argument("--width", type=int, default=64,
+                       help="timeline width in characters")
+    p_otl.add_argument(
+        "--csv", default=None, metavar="FILE",
+        help="also write the metric timelines as CSV",
+    )
+    p_otl.add_argument(
+        "--no-prefetch", action="store_true",
+        help="observe the no-prefetch baseline instead",
+    )
+    add_obs_cell_flags(p_otl)
+    p_otl.set_defaults(func=_cmd_obs_timeline)
+
+    p_oattr = obs_sub.add_parser(
+        "attribute",
+        help="decompose wall time into compute / demand stall / "
+        "sync wait / daemon theft, paired prefetch on/off",
+    )
+    add_obs_cell_flags(p_oattr)
+    _add_perf_flags(p_oattr)
+    p_oattr.set_defaults(func=_cmd_obs_attribute)
 
     p_faults = sub.add_parser(
         "faults", help="compose and inspect fault-injection plans"

@@ -24,6 +24,7 @@ from ..fs.trace import Trace
 from ..machine.machine import Machine, MachineConfig
 from ..machine.node import IdleKind
 from ..metrics.collector import RunMetrics
+from ..obs.attribution import attribute_run, attribution_digest
 from ..prefetch.daemon import DaemonConfig, PrefetchDaemon
 from ..prefetch.oracle import OraclePolicy
 from ..prefetch.policy import PrefetchPolicy
@@ -68,6 +69,13 @@ class RunInstrumentation(Protocol):
         self, env: Environment, machine: Machine, cache: BlockCache
     ) -> None:
         """Called once machine, cache, and policies are constructed."""
+
+    # Implementations may additionally define
+    # ``on_apps(env, server, apps)`` — called after the application
+    # processes are created, just before the run starts.  The runner
+    # invokes it via ``getattr`` so existing two-hook instrumentations
+    # keep working unchanged (the observability recorder uses it to
+    # reach the file server).
 
 
 @dataclass
@@ -118,6 +126,15 @@ class RunResult:
     read_p50: float = 0.0
     read_p99: float = 0.0
 
+    #: Per-node wall-time decomposition into compute / demand-I/O stall /
+    #: sync wait / daemon theft (see :mod:`repro.obs.attribution`).
+    #: Computed for every run, so cached results can answer
+    #: ``rapid-transit obs attribute`` without re-simulation.
+    node_attribution: List[Dict[str, float]] = field(default_factory=list)
+    #: Provenance digest of :attr:`node_attribution` (the obs artifact
+    #: digest carried by the run cache's payload).
+    obs_digest: str = ""
+
     #: Events scheduled by the run's environment (the benchmark
     #: harness's throughput denominator).
     n_events: int = 0
@@ -145,6 +162,15 @@ class RunResult:
     @property
     def label(self) -> str:
         return self.config.label
+
+
+def _make_end_recorder(slots: List[float], index: int, env: Environment):
+    """A passive termination callback noting when one app finished."""
+
+    def record(_event) -> None:
+        slots[index] = env.now
+
+    return record
 
 
 def _build_policy(
@@ -292,6 +318,18 @@ def run_materialized(
         )
         for node in machine.nodes
     ]
+    # Record each application's finish time with a passive callback on
+    # its termination event: callbacks never reschedule anything, so the
+    # event stream is untouched (the attribution's per-node wall times).
+    app_end_times = [0.0] * len(apps)
+    for index, proc in enumerate(apps):
+        proc.callbacks.append(
+            _make_end_recorder(app_end_times, index, env)
+        )
+
+    on_apps = getattr(instrument, "on_apps", None)
+    if on_apps is not None:
+        on_apps(env, server, apps)
 
     metrics.begin_run()
     env.run(until=env.all_of(apps))
@@ -331,6 +369,12 @@ def run_materialized(
     overrun_total = sum(overruns)
     overrun_mean = overrun_total / len(overruns) if overruns else 0.0
 
+    node_attribution = attribute_run(
+        machine.nodes,
+        app_end_times,
+        start_time=metrics.start_time if metrics.start_time else 0.0,
+    )
+
     return RunResult(
         config=config,
         total_time=metrics.total_time,
@@ -365,6 +409,8 @@ def run_materialized(
         read_p99=metrics.read_times.percentile(99.0)
         if metrics.read_times.count
         else 0.0,
+        node_attribution=node_attribution,
+        obs_digest=attribution_digest(node_attribution),
         n_events=env.event_count,
         disk_errors=metrics.total_disk_errors,
         disk_retries=metrics.total_retries,

@@ -45,6 +45,28 @@ class FileServer:
         self.read_observer: Optional[
             Callable[[int, int, str, float, int], None]
         ] = None
+        #: Second, independent slot with the same signature and the same
+        #: passivity contract, reserved for the observability layer
+        #: (:mod:`repro.obs`) so span tracing composes with the trace
+        #: recorder instead of clobbering it.
+        self.obs_read_observer: Optional[
+            Callable[[int, int, str, float, int], None]
+        ] = None
+
+    def _notify_read(
+        self,
+        node_id: int,
+        block: int,
+        outcome: str,
+        latency: float,
+        ref_index: int,
+    ) -> None:
+        if self.read_observer is not None:
+            self.read_observer(node_id, block, outcome, latency, ref_index)
+        if self.obs_read_observer is not None:
+            self.obs_read_observer(
+                node_id, block, outcome, latency, ref_index
+            )
 
     def read_block(
         self,
@@ -75,10 +97,9 @@ class FileServer:
             self.cache.record_access(
                 node.node_id, block, "ready", latency, ref_index
             )
-            if self.read_observer is not None:
-                self.read_observer(
-                    node.node_id, block, "ready", latency, ref_index
-                )
+            self._notify_read(
+                node.node_id, block, "ready", latency, ref_index
+            )
             return cpu_req
 
         # Unready hit or miss: wait out the I/O as idle time.  We leave the
@@ -119,8 +140,7 @@ class FileServer:
         self.cache.record_access(
             node.node_id, block, outcome.kind, latency, ref_index
         )
-        if self.read_observer is not None:
-            self.read_observer(
-                node.node_id, block, outcome.kind, latency, ref_index
-            )
+        self._notify_read(
+            node.node_id, block, outcome.kind, latency, ref_index
+        )
         return cpu_req

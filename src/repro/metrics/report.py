@@ -16,19 +16,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "PAIRED_MEASURES",
     "FAULT_MEASURES",
+    "ATTRIBUTION_COLUMNS",
     "paired_measure_rows",
     "fault_measure_rows",
+    "attribution_rows",
+    "attribution_summary",
     "render_table",
     "render_scatter",
     "format_cell",
 ]
 
 #: The measures a paired (no-prefetch vs prefetch) comparison reports,
-#: in display order: (row label, RunResult attribute).
+#: in display order: (row label, RunResult attribute).  Cache hit/miss
+#: counters and demand-read latency percentiles live here — not in
+#: :data:`FAULT_MEASURES` — so every report path (live runs, trace
+#: replays, degraded-mode comparisons) renders them consistently.
 PAIRED_MEASURES: Tuple[Tuple[str, str], ...] = (
     ("total time (ms)", "total_time"),
     ("avg block read time (ms)", "avg_read_time"),
+    ("demand read p50 (ms)", "read_p50"),
+    ("demand read p99 (ms)", "read_p99"),
+    ("total cache accesses", "total_accesses"),
     ("hit ratio", "hit_ratio"),
+    ("miss ratio", "miss_ratio"),
     ("ready-hit fraction", "ready_hit_fraction"),
     ("unready-hit fraction", "unready_hit_fraction"),
     ("avg hit-wait, all hits (ms)", "avg_hit_wait_all"),
@@ -45,13 +55,24 @@ PAIRED_MEASURES: Tuple[Tuple[str, str], ...] = (
 #: Resilience/fault measures appended to comparisons when a run carried
 #: a fault plan: (row label, RunResult attribute).
 FAULT_MEASURES: Tuple[Tuple[str, str], ...] = (
-    ("demand read p50 (ms)", "read_p50"),
-    ("demand read p99 (ms)", "read_p99"),
     ("disk errors", "disk_errors"),
     ("retries", "disk_retries"),
     ("timeouts", "disk_timeouts"),
     ("breaker opens", "breaker_opens"),
     ("time degraded (ms)", "time_degraded"),
+)
+
+
+#: Column headings of the per-node bottleneck-attribution table
+#: (``rapid-transit obs attribute``, ``run --obs``).
+ATTRIBUTION_COLUMNS: Tuple[str, ...] = (
+    "node",
+    "wall (ms)",
+    "compute (ms)",
+    "demand stall (ms)",
+    "sync wait (ms)",
+    "daemon theft (ms)",
+    "dominant",
 )
 
 
@@ -77,6 +98,61 @@ def fault_measure_rows(
         (label, getattr(base, attr), getattr(prefetch, attr))
         for label, attr in FAULT_MEASURES
     ]
+
+
+def attribution_rows(result: "RunResult") -> List[Tuple]:
+    """Per-node bottleneck rows (plus an ``all`` totals row) for
+    :data:`ATTRIBUTION_COLUMNS`, from ``result.node_attribution``."""
+    from ..obs.attribution import COMPONENTS, dominant_component
+
+    rows: List[Tuple] = []
+    totals = {name: 0.0 for name in ("wall",) + COMPONENTS}
+    for entry in result.node_attribution:
+        rows.append(
+            (
+                int(entry["node"]),
+                entry["wall"],
+                entry["compute"],
+                entry["demand_stall"],
+                entry["sync_wait"],
+                entry["daemon_theft"],
+                dominant_component(entry).replace("_", " "),
+            )
+        )
+        for name in totals:
+            totals[name] += entry[name]
+    if rows:
+        rows.append(
+            (
+                "all",
+                totals["wall"],
+                totals["compute"],
+                totals["demand_stall"],
+                totals["sync_wait"],
+                totals["daemon_theft"],
+                dominant_component(totals).replace("_", " "),
+            )
+        )
+    return rows
+
+
+def attribution_summary(result: "RunResult") -> str:
+    """One line naming the dominant cost across nodes, e.g.
+    ``dominant cost: demand stall (3/4 nodes), sync wait (1/4 nodes)``."""
+    from ..obs.attribution import COMPONENTS, dominant_component
+
+    entries = result.node_attribution
+    if not entries:
+        return "dominant cost: (no attribution data)"
+    counts = {name: 0 for name in COMPONENTS}
+    for entry in entries:
+        counts[dominant_component(entry)] += 1
+    parts = [
+        f"{name.replace('_', ' ')} ({count}/{len(entries)} nodes)"
+        for name, count in counts.items()
+        if count
+    ]
+    return "dominant cost: " + ", ".join(parts)
 
 
 def format_cell(value) -> str:

@@ -1,0 +1,59 @@
+"""Observability: sim-time span tracing, metric timelines, exporters,
+and bottleneck attribution.
+
+The subsystem answers the question end-of-run aggregates cannot: *where
+did simulated time go?*  It is passive by construction — attaching it to
+a run never changes the event schedule (`tests/obs/test_determinism.py`
+proves obs-on and obs-off runs hash identically) and costs nothing when
+disabled.  See ``docs/obs.md``.
+"""
+
+from .attribution import (
+    COMPONENTS,
+    attribute_node,
+    attribute_run,
+    attribution_digest,
+    dominant_component,
+)
+from .export import (
+    render_ascii,
+    spans_to_csv,
+    timelines_to_csv,
+    to_perfetto,
+    validate_perfetto,
+)
+from .recorder import ObsConfig, ObsData, ObsRecorder, run_with_obs
+from .spans import ObsError, Span, SpanLog, Track
+from .timeline import (
+    Counter,
+    Histogram,
+    Series,
+    TimelineRegistry,
+    TimelineSampler,
+)
+
+__all__ = [
+    "COMPONENTS",
+    "Counter",
+    "Histogram",
+    "ObsConfig",
+    "ObsData",
+    "ObsError",
+    "ObsRecorder",
+    "Series",
+    "Span",
+    "SpanLog",
+    "TimelineRegistry",
+    "TimelineSampler",
+    "Track",
+    "attribute_node",
+    "attribute_run",
+    "attribution_digest",
+    "dominant_component",
+    "render_ascii",
+    "run_with_obs",
+    "spans_to_csv",
+    "timelines_to_csv",
+    "to_perfetto",
+    "validate_perfetto",
+]

@@ -1,0 +1,118 @@
+"""Bottleneck attribution: where did each node's wall time go?
+
+The paper's central tension is that hit ratio and execution time can
+move in opposite directions: prefetching buys cache hits but pays in
+daemon CPU theft, disk-queue contention, and overrun.  This module
+decomposes each node's wall time into the four budgets that tell that
+story:
+
+* **compute** — time the user process held its CPU and made progress
+  (includes the file system's per-call CPU costs and lock waits);
+* **demand_stall** — the *logically necessary* portion of every idle
+  period spent waiting on disk I/O (self-initiated misses plus unready
+  hits on someone else's fetch);
+* **sync_wait** — the necessary portion of synchronization idles
+  (barrier and join waits);
+* **daemon_theft** — overrun: time between a wake-up event firing and
+  the user actually reacquiring its CPU, i.e. prefetch actions running
+  past the moment the user could have resumed.
+
+The decomposition is exact by construction: idle periods partition the
+node's non-compute time, ``necessary + overrun == actual``, and compute
+is the residual — so the four components sum to the node's wall time to
+float round-off.  It is computed for *every* run (it needs only the
+idle-period records the nodes already keep), which is what lets
+``rapid-transit obs attribute`` answer from the run cache.
+
+Everything here is stdlib-only and import-light so the experiment runner
+can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from hashlib import blake2b
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.node import Node
+
+__all__ = [
+    "COMPONENTS",
+    "attribute_node",
+    "attribute_run",
+    "attribution_digest",
+    "dominant_component",
+]
+
+#: The four budgets, in display (and tie-break) order.
+COMPONENTS = ("compute", "demand_stall", "sync_wait", "daemon_theft")
+
+
+def attribute_node(
+    node: "Node", end_time: float, start_time: float = 0.0
+) -> Dict[str, float]:
+    """One node's wall-time decomposition as a JSON-able dict.
+
+    ``end_time`` is when the node's application process finished;
+    ``start_time`` when the measured run began (normally 0).
+    """
+    wall = end_time - start_time
+    demand_stall = 0.0
+    sync_wait = 0.0
+    daemon_theft = 0.0
+    for period in node.idle_periods:
+        if period.kind.value == "sync":
+            sync_wait += period.necessary
+        else:  # self_io / remote_io: both are demand-I/O stalls
+            demand_stall += period.necessary
+        daemon_theft += period.overrun
+    compute = wall - demand_stall - sync_wait - daemon_theft
+    return {
+        "node": node.node_id,
+        "wall": wall,
+        "compute": compute,
+        "demand_stall": demand_stall,
+        "sync_wait": sync_wait,
+        "daemon_theft": daemon_theft,
+    }
+
+
+def attribute_run(
+    nodes: Sequence["Node"],
+    end_times: Sequence[float],
+    start_time: float = 0.0,
+) -> List[Dict[str, float]]:
+    """Per-node attributions for a completed run, in node order."""
+    if len(nodes) != len(end_times):
+        raise ValueError(
+            f"{len(nodes)} nodes but {len(end_times)} app end times"
+        )
+    return [
+        attribute_node(node, end, start_time)
+        for node, end in zip(nodes, end_times)
+    ]
+
+
+def dominant_component(entry: Dict[str, float]) -> str:
+    """The budget that claims the most of one node's wall time.
+
+    Ties break toward the earlier entry of :data:`COMPONENTS`, so the
+    answer is deterministic.
+    """
+    best = COMPONENTS[0]
+    for name in COMPONENTS[1:]:
+        if entry.get(name, 0.0) > entry.get(best, 0.0):
+            best = name
+    return best
+
+
+def attribution_digest(payload: Any) -> str:
+    """Provenance digest of an observability artifact.
+
+    blake2b over canonical JSON (sorted keys, compact separators) —
+    the same construction as :mod:`repro.perf.digest`, duplicated here
+    so the runner can stamp results without importing the perf layer.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()

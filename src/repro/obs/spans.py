@@ -1,0 +1,161 @@
+"""Sim-time span records: the observability layer's trace primitive.
+
+A :class:`Span` is one named interval of simulated time on a *track* — a
+``(kind, id)`` pair such as ``("node", 3)``, ``("disk", 0)``, or
+``("daemon", 7)``.  Tracks map one-to-one onto Perfetto threads, so every
+node, disk, and daemon renders as its own swim lane.
+
+:class:`SpanLog` collects spans two ways:
+
+* :meth:`SpanLog.add` — a completed interval whose start and end are both
+  known (how the passive completion observers record: a demand read's
+  latency, a disk request's queue/service phases, a daemon action);
+* :meth:`SpanLog.begin` / :meth:`SpanLog.end` — live open/close bracketing
+  with strict LIFO nesting and per-track time monotonicity, for
+  instrumentation that traces as it goes.
+
+Both paths validate that time never runs backwards within a track and
+that every span has non-negative duration; violations raise
+:class:`ObsError` immediately rather than producing a silently garbled
+trace.  The log itself is purely passive — appending to it can never
+schedule an event, draw randomness, or otherwise perturb a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["ObsError", "Span", "SpanLog", "Track"]
+
+#: A track names one swim lane: ``(kind, id)``, e.g. ``("disk", 2)``.
+Track = Tuple[str, int]
+
+
+class ObsError(RuntimeError):
+    """An observability-layer usage error (bad nesting, time reversal)."""
+
+
+@dataclass
+class Span:
+    """One named interval of simulated time on a track."""
+
+    track: Track
+    name: str
+    #: Category, e.g. ``read:ready``, ``disk:service``, ``wait:sync``.
+    cat: str
+    start: float
+    end: float
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class _OpenSpan:
+    name: str
+    cat: str
+    start: float
+    args: Dict[str, Any]
+
+
+class SpanLog:
+    """An append-only collection of spans with nesting validation."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        #: Per-track stack of spans opened via :meth:`begin`.
+        self._open: Dict[Track, List[_OpenSpan]] = {}
+        #: Per-track high-water mark of begin/end timestamps.
+        self._clock: Dict[Track, float] = {}
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- completed-interval path ---------------------------------------------
+
+    def add(
+        self,
+        track: Track,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        **args: Any,
+    ) -> Span:
+        """Record a completed span (both endpoints already known)."""
+        if end < start:
+            raise ObsError(
+                f"span {name!r} on {track} ends at {end} before its "
+                f"start {start}"
+            )
+        span = Span(
+            track=track, name=name, cat=cat, start=start, end=end, args=args
+        )
+        self.spans.append(span)
+        return span
+
+    # -- live open/close path ------------------------------------------------
+
+    def begin(
+        self, track: Track, name: str, cat: str, ts: float, **args: Any
+    ) -> None:
+        """Open a span on ``track`` at sim time ``ts`` (LIFO nesting)."""
+        self._advance(track, ts, f"begin of {name!r}")
+        self._open.setdefault(track, []).append(
+            _OpenSpan(name=name, cat=cat, start=ts, args=args)
+        )
+
+    def end(self, track: Track, ts: float, **extra_args: Any) -> Span:
+        """Close the innermost open span on ``track`` at sim time ``ts``."""
+        stack = self._open.get(track)
+        if not stack:
+            raise ObsError(f"end with no open span on track {track}")
+        self._advance(track, ts, "end")
+        open_span = stack.pop()
+        open_span.args.update(extra_args)
+        span = Span(
+            track=track,
+            name=open_span.name,
+            cat=open_span.cat,
+            start=open_span.start,
+            end=ts,
+            args=open_span.args,
+        )
+        self.spans.append(span)
+        return span
+
+    def open_depth(self, track: Track) -> int:
+        """How many spans are currently open on ``track``."""
+        return len(self._open.get(track, ()))
+
+    def check_closed(self) -> None:
+        """Raise :class:`ObsError` if any track still has open spans."""
+        dangling = sorted(
+            (track, len(stack))
+            for track, stack in self._open.items()
+            if stack
+        )
+        if dangling:
+            raise ObsError(f"open spans left on tracks: {dangling}")
+
+    def _advance(self, track: Track, ts: float, what: str) -> None:
+        last = self._clock.get(track, 0.0)
+        if ts < last:
+            raise ObsError(
+                f"{what} on track {track} at t={ts} runs backwards "
+                f"(track clock already at t={last})"
+            )
+        self._clock[track] = ts
+
+    # -- queries ---------------------------------------------------------------
+
+    def tracks(self) -> List[Track]:
+        """Every track that holds at least one span, sorted."""
+        return sorted({span.track for span in self.spans})
+
+    def by_track(self, track: Track) -> List[Span]:
+        """Spans on one track, in insertion order."""
+        return [span for span in self.spans if span.track == track]

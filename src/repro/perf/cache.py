@@ -21,13 +21,14 @@ from typing import Optional, Union
 
 from ..experiments.config import ExperimentConfig
 from ..experiments.runner import RunResult
-from .digest import run_key
+from .digest import obs_digest, run_key
 from .serialize import result_from_dict, result_to_dict
 
 __all__ = ["RunCache", "default_cache_dir", "open_cache"]
 
 #: Wire-format version; bumped on incompatible layout changes.
-_FORMAT = 1
+#: v2 added the ``obs`` section (attribution payload + digest).
+_FORMAT = 2
 
 #: Environment variable naming a cache directory to use by default.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -53,15 +54,29 @@ class RunCache:
         return self.cache_dir / f"run-v{_FORMAT}-{key}.json"
 
     def get(self, config: ExperimentConfig) -> Optional[RunResult]:
-        """The memoized slim result for ``config``, or ``None``."""
+        """The memoized slim result for ``config``, or ``None``.
+
+        Entries whose ``obs`` section is missing or fails its digest
+        check (truncated write, hand-edited file) read as misses — a
+        corrupt observability payload must never masquerade as a run's
+        true attribution.
+        """
         path = self._path(run_key(config))
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            obs = data["obs"]
+            result = result_from_dict(config, data["result"])
+            stored = obs["digest"]
+            if (
+                stored != obs_digest(obs["attribution"])
+                or stored != result.obs_digest
+            ):
+                raise ValueError("obs payload fails digest check")
+        except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
             return None
         self.hits += 1
-        return result_from_dict(config, data["result"])
+        return result
 
     def put(self, config: ExperimentConfig, result: RunResult) -> None:
         """Memoize ``result`` (atomically) under ``config``'s key."""
@@ -69,6 +84,10 @@ class RunCache:
         payload = {
             "format": _FORMAT,
             "label": config.label,
+            "obs": {
+                "digest": result.obs_digest,
+                "attribution": result.node_attribution,
+            },
             "result": result_to_dict(result),
         }
         tmp = path.with_name(path.name + ".tmp")

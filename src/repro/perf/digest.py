@@ -21,7 +21,13 @@ from typing import Any, Optional
 
 from ..experiments.config import ExperimentConfig
 
-__all__ = ["canonical_json", "code_fingerprint", "config_digest", "run_key"]
+__all__ = [
+    "canonical_json",
+    "code_fingerprint",
+    "config_digest",
+    "obs_digest",
+    "run_key",
+]
 
 #: blake2b digest size in bytes (32 hex characters).
 _DIGEST_SIZE = 16
@@ -73,6 +79,19 @@ def code_fingerprint() -> str:
             h.update(b"\x00")
         _fingerprint = h.hexdigest()
     return _fingerprint
+
+
+def obs_digest(payload: Any) -> str:
+    """Provenance digest of an observability artifact.
+
+    Covers any JSON-serializable obs payload (per-node attribution
+    lists, exported trace metadata).  Delegates to the same canonical
+    hash the runner stamps into ``RunResult.obs_digest``, so a cache
+    entry's stored digest can be re-derived and checked on read.
+    """
+    from ..obs.attribution import attribution_digest
+
+    return attribution_digest(payload)
 
 
 def run_key(config: ExperimentConfig) -> str:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.config import ExperimentConfig
@@ -158,23 +159,32 @@ def execute_pairs(
     ]
 
 
-def _audit_to_payload(config: ExperimentConfig) -> Dict[str, Any]:
+def _audit_to_payload(
+    config: ExperimentConfig, obs: bool = False
+) -> Dict[str, Any]:
     """Worker side: one run-twice determinism audit, slim verdict only."""
     from ..analysis.audit import run_twice_and_diff
 
-    report = run_twice_and_diff(config)
-    return {"summary": report.summary(), "identical": report.identical}
+    report = run_twice_and_diff(config, obs=obs)
+    return {
+        "summary": report.summary(),
+        "identical": report.identical,
+        "obs": obs,
+    }
 
 
 def execute_audits(
-    configs: Sequence[ExperimentConfig], *, jobs: int = 1
+    configs: Sequence[ExperimentConfig], *, jobs: int = 1, obs: bool = False
 ) -> List[Dict[str, Any]]:
     """Run-twice determinism audits for each config, in request order.
 
-    Each verdict is ``{"summary": str, "identical": bool}``.  Audits
-    never touch the run cache: their entire point is re-execution.
+    Each verdict is ``{"summary": str, "identical": bool, "obs": bool}``.
+    Audits never touch the run cache: their entire point is re-execution.
+    With ``obs=True`` every audited run also carries the observability
+    recorder, so an identical verdict proves tracing is schedule-neutral.
     """
     if jobs <= 1 or len(configs) == 1:
-        return [_audit_to_payload(config) for config in configs]
+        return [_audit_to_payload(config, obs) for config in configs]
+    worker = partial(_audit_to_payload, obs=obs)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(_audit_to_payload, configs))
+        return list(pool.map(worker, configs))

@@ -23,7 +23,7 @@ ratio for no net gain — the reproduction shows the same.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..machine.node import Node
 from ..sim.monitor import Tally
@@ -75,6 +75,12 @@ class PrefetchDaemon:
         self.metrics = metrics
         self.config = config
         self._stopped = False
+        #: Optional callback ``(node_id, start, end, outcome)`` fired as
+        #: each prefetch action completes.  Must be passive: no events,
+        #: no randomness (the observability layer attaches here).
+        self.action_observer: Optional[
+            Callable[[int, float, float, str], None]
+        ] = None
         #: Outcome counts for this daemon only.
         self.outcomes: dict = {}
         self.action_times = Tally(f"daemon{node.node_id}.actions")
@@ -87,10 +93,15 @@ class PrefetchDaemon:
         """Prevent any further actions (current one completes)."""
         self._stopped = True
 
-    def _record(self, duration: float, outcome: str) -> None:
+    def _record(self, start: float, outcome: str) -> None:
+        duration = self.env.now - start
         self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
         self.action_times.record(duration)
         self.metrics.record_prefetch_action(duration, outcome)
+        if self.action_observer is not None:
+            self.action_observer(
+                self.node.node_id, start, self.env.now, outcome
+            )
 
     def _run(self):
         env = self.env
@@ -129,7 +140,7 @@ class PrefetchDaemon:
                     node.node_id, self.policy
                 )
                 node.cpu.release(cpu_req)
-                self._record(env.now - start, outcome)
+                self._record(start, outcome)
                 if outcome == "success":
                     consecutive_failures = 0
                 elif outcome == "suspended":

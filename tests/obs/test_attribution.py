@@ -1,0 +1,61 @@
+"""Bottleneck attribution: the decomposition must account for every ms."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.obs.attribution import (
+    COMPONENTS,
+    attribute_run,
+    attribution_digest,
+    dominant_component,
+)
+
+TINY = dict(n_nodes=4, n_disks=4, file_blocks=200, total_reads=200)
+
+
+def _run(**overrides):
+    base = dict(pattern="grp", sync_style="none", seed=3, **TINY)
+    base.update(overrides)
+    return run_experiment(ExperimentConfig(**base))
+
+
+@pytest.mark.parametrize("pattern,sync", [
+    ("grp", "none"), ("lfp", "portion"), ("gw", "per-proc"),
+])
+def test_components_sum_to_wall_per_node(pattern, sync):
+    result = _run(pattern=pattern, sync_style=sync)
+    assert len(result.node_attribution) == TINY["n_nodes"]
+    for entry in result.node_attribution:
+        total = sum(entry[name] for name in COMPONENTS)
+        assert total == pytest.approx(entry["wall"], abs=1e-6)
+        assert all(entry[name] >= -1e-9 for name in COMPONENTS)
+
+
+def test_baseline_has_no_daemon_theft():
+    result = _run(prefetch=False)
+    assert all(e["daemon_theft"] == 0.0 for e in result.node_attribution)
+
+
+def test_unsynchronized_run_has_no_sync_wait():
+    result = _run(sync_style="none")
+    assert all(e["sync_wait"] == 0.0 for e in result.node_attribution)
+
+
+def test_obs_digest_matches_attribution_payload():
+    result = _run()
+    assert result.obs_digest == attribution_digest(result.node_attribution)
+    # Same config, same digest; different seed, different payload.
+    assert _run().obs_digest == result.obs_digest
+    assert _run(seed=4).obs_digest != result.obs_digest
+
+
+def test_dominant_component_ties_break_in_component_order():
+    entry = {"compute": 5.0, "demand_stall": 5.0, "sync_wait": 1.0,
+             "daemon_theft": 0.0}
+    assert dominant_component(entry) == "compute"
+
+
+def test_attribute_run_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        attribute_run([], [1.0, 2.0], 0.0)

@@ -1,0 +1,72 @@
+"""CLI smoke tests for the obs verbs and the --obs flags."""
+
+import json
+
+from repro.cli import main
+
+SIZING = ["--nodes", "2", "--disks", "2", "--file-blocks", "80",
+          "--reads", "80", "--seed", "2"]
+
+
+def test_obs_export_perfetto(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    code = main(["obs", "export", "-o", str(out), "--validate"] + SIZING)
+    assert code == 0
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    assert payload["displayTimeUnit"] == "ms"
+    assert len(payload["traceEvents"]) > 10
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_obs_export_csv(tmp_path, capsys):
+    out = tmp_path / "timelines.csv"
+    code = main(
+        ["obs", "export", "-o", str(out), "--format", "csv"] + SIZING
+    )
+    assert code == 0
+    assert out.read_text(encoding="utf-8").startswith("time_ms,")
+    spans = tmp_path / "timelines.csv.spans.csv"
+    assert spans.exists()
+    assert "obs digest" in capsys.readouterr().out
+
+
+def test_obs_timeline(tmp_path, capsys):
+    csv_out = tmp_path / "tl.csv"
+    code = main(
+        ["obs", "timeline", "--width", "32", "--csv", str(csv_out)]
+        + SIZING
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "legend:" in out
+    assert "node" in out and "disk" in out
+    assert csv_out.exists()
+
+
+def test_obs_attribute(capsys):
+    code = main(["obs", "attribute"] + SIZING)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wall-time attribution [no-prefetch]" in out
+    assert "wall-time attribution [prefetch]" in out
+    assert "dominant cost:" in out
+
+
+def test_run_with_obs_flag(capsys):
+    code = main(
+        ["run", "--obs", "--pattern", "grp", "--sync", "none"] + SIZING
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wall-time attribution" in out
+    assert "dominant cost:" in out
+
+
+def test_audit_with_obs_flag(capsys):
+    code = main(
+        ["audit", "--obs", "--pattern", "grp", "--sync", "none"] + SIZING
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "observability recorder" in out
+    assert "PASS" in out

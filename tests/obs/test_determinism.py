@@ -1,0 +1,43 @@
+"""The tentpole guarantee: observation never perturbs the schedule."""
+
+import pytest
+
+from repro.analysis.audit import run_twice_and_diff, run_with_audit
+from repro.experiments.config import ExperimentConfig
+
+TINY = dict(n_nodes=2, n_disks=2, file_blocks=100, total_reads=100)
+
+
+def _config(**overrides):
+    base = dict(pattern="grp", sync_style="none", seed=3, **TINY)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+@pytest.mark.parametrize("pattern,sync", [
+    ("grp", "none"), ("lfp", "portion"),
+])
+def test_obs_on_equals_obs_off_trace_digest(pattern, sync):
+    config = _config(pattern=pattern, sync_style=sync)
+    off = run_with_audit(config)
+    on = run_with_audit(config, obs=True)
+    assert on.trace_digest == off.trace_digest
+    assert on.n_events == off.n_events
+    assert off.obs_data is None
+    assert on.obs_data is not None and len(on.obs_data.spans.spans) > 0
+
+
+def test_run_twice_with_obs_is_identical():
+    report = run_twice_and_diff(_config(), obs=True)
+    assert report.identical
+    assert report.first.obs_data is not None
+    assert report.second.obs_data is not None
+    # Both runs also recorded identical attribution payloads.
+    assert (
+        report.first.result.obs_digest == report.second.result.obs_digest
+    )
+
+
+def test_obs_spans_all_closed_at_finalize():
+    report = run_with_audit(_config(), obs=True)
+    report.obs_data.spans.check_closed()

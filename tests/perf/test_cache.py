@@ -4,9 +4,13 @@ import json
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
-from repro.perf.cache import CACHE_DIR_ENV, RunCache, open_cache
-from repro.perf.digest import run_key
+from repro.perf.cache import _FORMAT, CACHE_DIR_ENV, RunCache, open_cache
+from repro.perf.digest import obs_digest, run_key
 from repro.perf.serialize import result_to_dict, results_digest
+
+
+def _entry_path(cache, config):
+    return cache.cache_dir / f"run-v{_FORMAT}-{run_key(config)}.json"
 
 TINY = dict(n_nodes=2, n_disks=2, file_blocks=64, total_reads=64)
 
@@ -48,8 +52,40 @@ def test_corrupt_entry_is_a_miss(tmp_path):
     config = _config()
     cache = RunCache(tmp_path)
     cache.put(config, run_experiment(config))
-    entry = cache.cache_dir / f"run-v1-{run_key(config)}.json"
+    entry = _entry_path(cache, config)
     entry.write_text("{not json", encoding="utf-8")
+    assert cache.get(config) is None
+
+
+def test_obs_round_trip(tmp_path):
+    config = _config()
+    result = run_experiment(config)
+    cache = RunCache(tmp_path)
+    cache.put(config, result)
+    got = cache.get(config)
+    assert got is not None
+    assert got.node_attribution == result.node_attribution
+    assert got.obs_digest == result.obs_digest
+    assert got.obs_digest == obs_digest(got.node_attribution)
+
+
+def test_corrupt_obs_section_is_a_miss(tmp_path):
+    config = _config()
+    cache = RunCache(tmp_path)
+    cache.put(config, run_experiment(config))
+    entry = _entry_path(cache, config)
+
+    # Tampered attribution no longer matches the stored digest.
+    data = json.loads(entry.read_text(encoding="utf-8"))
+    data["obs"]["attribution"][0]["compute"] += 1.0
+    entry.write_text(json.dumps(data), encoding="utf-8")
+    assert cache.get(config) is None
+
+    # A missing obs section entirely is also a miss.
+    cache.put(config, run_experiment(config))
+    data = json.loads(entry.read_text(encoding="utf-8"))
+    del data["obs"]
+    entry.write_text(json.dumps(data), encoding="utf-8")
     assert cache.get(config) is None
 
 
@@ -63,10 +99,11 @@ def test_entry_is_valid_json_with_label(tmp_path):
     config = _config()
     cache = RunCache(tmp_path)
     cache.put(config, run_experiment(config))
-    entry = cache.cache_dir / f"run-v1-{run_key(config)}.json"
+    entry = _entry_path(cache, config)
     data = json.loads(entry.read_text(encoding="utf-8"))
-    assert data["format"] == 1
+    assert data["format"] == _FORMAT
     assert data["label"] == config.label
+    assert data["obs"]["digest"] == obs_digest(data["obs"]["attribution"])
 
 
 def test_open_cache_precedence(tmp_path, monkeypatch):
