@@ -1,11 +1,19 @@
 """Determinism guardrails: static analysis, runtime auditing, invariants.
 
-Three pillars:
+Four pillars:
 
-* :mod:`repro.analysis.simlint` — an AST linter enforcing the determinism
-  contract (blessed RNG paths, no wall-clock, no unordered iteration in
-  sim-critical code, no ``-O``-erasable asserts).  Run as
+* :mod:`repro.analysis.simlint` — the per-file AST rules enforcing the
+  determinism contract (blessed RNG paths, no wall-clock, no unordered
+  iteration in sim-critical code, no ``-O``-erasable asserts).  Run as
   ``python -m repro.analysis.simlint src/``.
+* :mod:`repro.analysis.flow` — the whole-program half of simlint v2: a
+  module-import + call graph over the tree, interprocedural RNG /
+  wall-clock taint propagation, and static hook-purity proofs for
+  observer callables.  Driven by :mod:`repro.analysis.lint`
+  (``repro lint``), which adds SARIF/JSON emitters
+  (:mod:`repro.analysis.reporting`), a fail-only-on-new findings
+  baseline (:mod:`repro.analysis.baseline`), and an incremental
+  content-addressed result cache (:mod:`repro.analysis.lintcache`).
 * :mod:`repro.analysis.audit` — a runtime auditor: event-trace hashing on
   ``Environment.step`` (``run_twice_and_diff`` proves seed-stability),
   a simultaneous-event race detector, and periodic invariant sweeps.
@@ -32,6 +40,8 @@ __all__ = [
     "DeterminismReport",
     "run_twice_and_diff",
     "run_with_audit",
+    "LintResult",
+    "run_lint",
 ]
 
 _AUDIT_EXPORTS = frozenset(
@@ -44,10 +54,16 @@ _AUDIT_EXPORTS = frozenset(
     }
 )
 
+_LINT_EXPORTS = frozenset({"LintResult", "run_lint"})
+
 
 def __getattr__(name: str) -> Any:
     if name in _AUDIT_EXPORTS:
         from . import audit
 
         return getattr(audit, name)
+    if name in _LINT_EXPORTS:
+        from . import lint
+
+        return getattr(lint, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,117 @@
+"""Findings baseline: fail only on *new* findings.
+
+A real static-analysis rollout never starts from zero: the day a new
+rule lands, the tree has findings that are understood, accepted, or
+queued for cleanup.  The baseline file records them — keyed by the
+line-number-independent fingerprint from :mod:`repro.analysis.reporting`
+with a per-fingerprint count — so CI gates on the *delta*:
+
+* a finding whose fingerprint (and count) is covered by the baseline is
+  **known** and passes;
+* a fingerprint absent from the baseline (or exceeding its recorded
+  count) is **new** and fails the gate;
+* baseline entries no match occurred for are **stale** — reported so the
+  file can be re-tightened with ``--update-baseline``.
+
+The file is committed JSON: sorted, stable, and reviewable in diffs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .reporting import diagnostic_fingerprint, relative_path
+from .rules import Diagnostic
+
+__all__ = ["Baseline", "BaselineDelta"]
+
+_SCHEMA = "simlint-baseline-v1"
+
+
+@dataclass
+class BaselineDelta:
+    """The gate verdict: what is new, what is known, what went stale."""
+
+    new: List[Diagnostic] = field(default_factory=list)
+    known: List[Diagnostic] = field(default_factory=list)
+    stale: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+@dataclass
+class Baseline:
+    """Committed fingerprints with counts; the entries metadata is a
+    human-readable sample (rule/path/message) per fingerprint."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("schema") != _SCHEMA:
+            raise ValueError(
+                f"{path}: not a simlint baseline (schema "
+                f"{data.get('schema')!r}, want {_SCHEMA!r})"
+            )
+        findings = data.get("findings", {})
+        counts = {fp: int(entry["count"]) for fp, entry in findings.items()}
+        return cls(counts=counts, entries=dict(findings))
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Diagnostic], base: Path
+    ) -> "Baseline":
+        counts: Counter[str] = Counter()
+        entries: Dict[str, Dict[str, object]] = {}
+        for diag in findings:
+            fp = diagnostic_fingerprint(diag, base)
+            counts[fp] += 1
+            entries.setdefault(
+                fp,
+                {
+                    "rule": diag.rule,
+                    "path": relative_path(diag.path, base),
+                    "message": diag.message,
+                },
+            )
+        for fp, count in counts.items():
+            entries[fp]["count"] = count
+        return cls(counts=dict(counts), entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "schema": _SCHEMA,
+            "findings": {
+                fp: self.entries[fp] for fp in sorted(self.entries)
+            },
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def delta(
+        self, findings: Sequence[Diagnostic], base: Path
+    ) -> BaselineDelta:
+        """Split current findings into known vs new; list stale entries."""
+        remaining = Counter(self.counts)
+        delta = BaselineDelta()
+        for diag in findings:
+            fp = diagnostic_fingerprint(diag, base)
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                delta.known.append(diag)
+            else:
+                delta.new.append(diag)
+        delta.stale = sorted(
+            fp for fp, count in remaining.items() if count > 0
+        )
+        return delta

@@ -1,0 +1,68 @@
+"""Whole-program determinism dataflow analysis (simlint v2).
+
+The per-file rules in :mod:`repro.analysis.rules` are *syntactic*: they
+flag a forbidden expression where it appears.  That leaves a hole the
+size of one helper function — wrap ``time.time()`` in a utility module
+(or suppress it there for a legitimate reporting use) and every
+sim-critical caller inherits host state invisibly.  This package closes
+the hole with three passes over the whole scanned tree:
+
+1. :mod:`.summary` — one cacheable :class:`FlowSummary` per module:
+   imports, function definitions, call sites, direct entropy/clock
+   sources, observer-hook registrations, and the mutation footprint
+   needed by the purity checker;
+2. :mod:`.program` — the module-import graph and the call graph, with
+   best-effort symbol resolution across imports, re-exports, ``self.``
+   method dispatch, and instance-attribute callables;
+3. :mod:`.taint` and :mod:`.purity` — interprocedural taint propagation
+   of RNG / wall-clock sources into sim-critical code, and a static
+   proof that registered observer callables never schedule events or
+   mutate kernel state.
+
+Diagnostics come back as the same :class:`~repro.analysis.rules.base.
+Diagnostic` records the syntactic rules emit, under the rule names
+``flow-taint`` and ``flow-purity`` (suppressible with ``# simlint:
+allow-flow-taint`` / ``allow-flow-purity`` on the reported line).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..rules.base import Diagnostic
+from .program import Program
+from .purity import purity_diagnostics
+from .summary import FlowSummary, summarize_module, summarize_source
+from .taint import taint_diagnostics
+
+__all__ = [
+    "FlowSummary",
+    "Program",
+    "analyze_flow",
+    "purity_diagnostics",
+    "summarize_module",
+    "summarize_source",
+    "taint_diagnostics",
+]
+
+#: Names of the whole-program rules (for catalogues and SARIF metadata).
+FLOW_RULES = {
+    "flow-taint": (
+        "interprocedural RNG / wall-clock taint reaching sim-critical "
+        "code through helper chains, defaults, and re-exports"
+    ),
+    "flow-purity": (
+        "observer hooks (step observers, read/request/action observers) "
+        "must not schedule events or mutate kernel state"
+    ),
+}
+
+
+def analyze_flow(summaries: Sequence[FlowSummary]) -> List[Diagnostic]:
+    """Run every whole-program check over one set of module summaries."""
+    program = Program(summaries)
+    findings: List[Diagnostic] = []
+    findings.extend(taint_diagnostics(program))
+    findings.extend(purity_diagnostics(program))
+    findings.sort(key=lambda d: (str(d.path), d.line, d.col, d.rule))
+    return findings

@@ -1,0 +1,296 @@
+"""Whole-program view: module-import graph, symbol resolution, call graph.
+
+A :class:`Program` stitches per-module :class:`~repro.analysis.flow.
+summary.FlowSummary` records into the two graphs the interprocedural
+passes walk:
+
+* the **module-import graph** — executing ``import util`` runs ``util``'s
+  module-level code, so every module's ``<module>`` pseudo-function gets
+  a call edge to each imported in-tree module's ``<module>``;
+* the **call graph** — call sites resolved through import aliases,
+  package re-exports (``from .clock import now`` in an ``__init__``),
+  ``self.``/``cls.`` method dispatch, statically-known instance
+  attributes (``self.x = SomeClass(...)`` → ``self.x`` is
+  ``SomeClass.__call__``), and class construction (``Cls()`` calls
+  ``Cls.__init__``).
+
+Resolution is best-effort and *under*-approximate: a name that cannot be
+traced to an in-tree definition produces no edge.  That is the right
+polarity for both passes — taint and impurity are only reported when a
+chain to a concrete source/effect is proven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .summary import FlowSummary, FunctionInfo
+
+__all__ = ["CallEdge", "Program"]
+
+#: Maximum re-export hops followed while resolving one symbol.
+_MAX_HOPS = 10
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call: ``caller`` invokes ``callee`` at ``line``."""
+
+    caller: str
+    callee: str
+    line: int
+
+
+class Program:
+    """Resolved whole-program indexes over a set of module summaries."""
+
+    def __init__(self, summaries: Sequence[FlowSummary]) -> None:
+        self.modules: Dict[str, FlowSummary] = {
+            s.module: s for s in summaries
+        }
+        self.functions: Dict[str, FunctionInfo] = {}
+        for s in summaries:
+            self.functions.update(s.functions)
+        self._edges: Optional[List[CallEdge]] = None
+        self._callers: Optional[Dict[str, List[CallEdge]]] = None
+        self._callees: Optional[Dict[str, List[CallEdge]]] = None
+
+    # -- classification ------------------------------------------------------
+
+    def summary_of(self, qname: str) -> FlowSummary:
+        module = qname.split(":", 1)[0]
+        return self.modules[module]
+
+    def display(self, qname: str) -> str:
+        """Human-readable name: ``pkg.mod:Cls.meth`` → ``pkg.mod.Cls.meth``."""
+        return qname.replace(":", ".").replace(".<module>", "")
+
+    # -- symbol resolution ---------------------------------------------------
+
+    def _lookup_in_module(
+        self, module: str, rest: List[str], hops: int
+    ) -> Optional[str]:
+        """Resolve symbol path ``rest`` inside ``module``."""
+        summary = self.modules.get(module)
+        if summary is None or not rest or hops > _MAX_HOPS:
+            return None
+        head = rest[0]
+        if len(rest) == 1:
+            qname = f"{module}:{head}"
+            if qname in summary.functions:
+                return qname
+            if head in summary.classes:
+                for ctor in ("__init__", "__call__"):
+                    ctor_q = f"{module}:{head}.{ctor}"
+                    if ctor_q in summary.functions:
+                        return ctor_q
+                return None
+        elif len(rest) == 2 and rest[0] in summary.classes:
+            method_q = f"{module}:{rest[0]}.{rest[1]}"
+            if method_q in summary.functions:
+                return method_q
+            return None
+        # Re-export: the name is an import alias inside this module.
+        alias = summary.imports.get(head)
+        if alias is not None:
+            return self._resolve_qualified(
+                ".".join([alias] + rest[1:]), hops + 1
+            )
+        for star in summary.star_imports:
+            found = self._resolve_qualified(
+                ".".join([star] + rest), hops + 1
+            )
+            if found is not None:
+                return found
+        return None
+
+    def _resolve_qualified(
+        self, qualified: str, hops: int = 0
+    ) -> Optional[str]:
+        """Resolve a fully-qualified dotted path against known modules."""
+        if hops > _MAX_HOPS:
+            return None
+        parts = qualified.split(".")
+        # Longest module prefix wins (``pkg.util`` before ``pkg``).
+        for split in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:split])
+            if module in self.modules:
+                return self._lookup_in_module(
+                    module, parts[split:], hops
+                )
+        return None
+
+    def _resolve_self_call(
+        self, summary: FlowSummary, cls: Optional[str], rest: List[str]
+    ) -> Optional[str]:
+        """``self.x`` / ``self.x.y`` within a method of ``cls``."""
+        if cls is None or not rest:
+            return None
+        info = summary.classes.get(cls)
+        if info is None:
+            return None
+        head = rest[0]
+        if len(rest) == 1:
+            if head in info.methods:
+                return f"{summary.module}:{cls}.{head}"
+            # A callable instance attribute: self.x = SomeClass(...)
+            ctor = info.attr_classes.get(head)
+            if ctor is not None:
+                target = self._resolve_ctor_class(summary, ctor)
+                if target is not None:
+                    call_q = f"{target[0]}:{target[1]}.__call__"
+                    if call_q in self.functions:
+                        return call_q
+            return None
+        if len(rest) == 2:
+            ctor = info.attr_classes.get(head)
+            if ctor is not None:
+                target = self._resolve_ctor_class(summary, ctor)
+                if target is not None:
+                    method_q = f"{target[0]}:{target[1]}.{rest[1]}"
+                    if method_q in self.functions:
+                        return method_q
+        return None
+
+    def _resolve_ctor_class(
+        self, summary: FlowSummary, ctor: str
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve a constructor name as written to ``(module, class)``."""
+        parts = ctor.split(".")
+        if len(parts) == 1:
+            if ctor in summary.classes:
+                return (summary.module, ctor)
+            alias = summary.imports.get(ctor)
+            if alias is not None:
+                resolved = self._resolve_qualified_class(alias)
+                if resolved is not None:
+                    return resolved
+            return None
+        alias = summary.imports.get(parts[0])
+        if alias is not None:
+            return self._resolve_qualified_class(
+                ".".join([alias] + parts[1:])
+            )
+        return None
+
+    def _resolve_qualified_class(
+        self, qualified: str
+    ) -> Optional[Tuple[str, str]]:
+        parts = qualified.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:split])
+            summary = self.modules.get(module)
+            if summary is None:
+                continue
+            rest = parts[split:]
+            if len(rest) == 1:
+                if rest[0] in summary.classes:
+                    return (module, rest[0])
+                alias = summary.imports.get(rest[0])
+                if alias is not None:
+                    return self._resolve_qualified_class(alias)
+            return None
+        return None
+
+    def resolve_call(self, caller: str, name: str) -> Optional[str]:
+        """Resolve one call-site name inside ``caller`` to a known qname."""
+        summary = self.summary_of(caller)
+        func = self.functions.get(caller)
+        cls = func.cls if func is not None else None
+        parts = name.split(".")
+        root = parts[0]
+        if root in ("self", "cls"):
+            return self._resolve_self_call(summary, cls, parts[1:])
+        # Nested function defined in the caller's own scope shares the
+        # flat module namespace; plain module/class lookup covers it.
+        if len(parts) == 1:
+            local = self._lookup_in_module(summary.module, parts, 0)
+            if local is not None:
+                return local
+            alias = summary.imports.get(root)
+            if alias is not None:
+                return self._resolve_qualified(alias)
+            for star in summary.star_imports:
+                found = self._resolve_qualified(f"{star}.{root}", 1)
+                if found is not None:
+                    return found
+            return None
+        # Dotted: resolve the root through local classes then imports.
+        if root in summary.classes:
+            return self._lookup_in_module(summary.module, parts, 0)
+        alias = summary.imports.get(root)
+        if alias is not None:
+            return self._resolve_qualified(
+                ".".join([alias] + parts[1:])
+            )
+        return None
+
+    # -- graphs --------------------------------------------------------------
+
+    def _build_edges(self) -> None:
+        edges: List[CallEdge] = []
+        for summary in self.modules.values():
+            module_q = f"{summary.module}:<module>"
+            # Module-import graph: importing runs module-level code.
+            for imported, line in summary.imported_modules:
+                target = self._import_target(imported)
+                if target is not None and target != summary.module:
+                    edges.append(
+                        CallEdge(
+                            caller=module_q,
+                            callee=f"{target}:<module>",
+                            line=line,
+                        )
+                    )
+            for info in summary.functions.values():
+                for call in info.calls:
+                    callee = self.resolve_call(info.qname, call.name)
+                    if callee is not None and callee != info.qname:
+                        edges.append(
+                            CallEdge(
+                                caller=info.qname,
+                                callee=callee,
+                                line=call.line,
+                            )
+                        )
+        self._edges = edges
+        callers: Dict[str, List[CallEdge]] = {}
+        callees: Dict[str, List[CallEdge]] = {}
+        for edge in edges:
+            callers.setdefault(edge.callee, []).append(edge)
+            callees.setdefault(edge.caller, []).append(edge)
+        self._callers = callers
+        self._callees = callees
+
+    def _import_target(self, imported: str) -> Optional[str]:
+        """Longest known module prefix of an imported dotted path."""
+        parts = imported.split(".")
+        for split in range(len(parts), 0, -1):
+            module = ".".join(parts[:split])
+            if module in self.modules:
+                return module
+        return None
+
+    @property
+    def edges(self) -> List[CallEdge]:
+        if self._edges is None:
+            self._build_edges()
+        assert self._edges is not None  # simlint: allow-assert
+        return self._edges
+
+    def callers_of(self, qname: str) -> List[CallEdge]:
+        if self._callers is None:
+            self._build_edges()
+        assert self._callers is not None  # simlint: allow-assert
+        return self._callers.get(qname, [])
+
+    def callees_of(self, qname: str) -> List[CallEdge]:
+        if self._callees is None:
+            self._build_edges()
+        assert self._callees is not None  # simlint: allow-assert
+        return self._callees.get(qname, [])
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        for summary in self.modules.values():
+            yield from summary.functions.values()

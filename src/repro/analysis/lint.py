@@ -1,0 +1,281 @@
+"""``repro lint`` — the unified lint driver.
+
+One entry point runs the whole v2 pipeline:
+
+1. collect files (deduped across overlapping scan roots);
+2. per-file syntactic rules + flow-summary extraction, served from the
+   incremental cache when the file is unchanged, fanned out to a
+   process pool with ``--jobs``;
+3. whole-program flow analysis (taint propagation + hook purity) over
+   the assembled summaries;
+4. baseline gating (``--baseline`` fails only on *new* findings;
+   ``--update-baseline`` rewrites the file) and emitters
+   (``--sarif`` / ``--json``).
+
+Exit codes: 0 clean (or all findings known to the baseline), 1 findings
+(new findings when gating), 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .baseline import Baseline, BaselineDelta
+from .flow import analyze_flow
+from .lintcache import FileAnalysis, LintCache, analyze_tree
+from .reporting import rule_catalogue, write_json, write_sarif
+from .rules import ALL_RULES, Diagnostic, Rule
+
+__all__ = [
+    "LintResult",
+    "add_lint_arguments",
+    "build_parser",
+    "main",
+    "run_cli",
+    "run_lint",
+]
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Diagnostic] = field(default_factory=list)
+    delta: Optional[BaselineDelta] = None
+    stats: Dict[str, int] = field(default_factory=dict)
+    analyses: List[FileAnalysis] = field(default_factory=list)
+
+    @property
+    def gated_findings(self) -> List[Diagnostic]:
+        """What the gate judges: new findings when a baseline is in
+        play, every finding otherwise."""
+        if self.delta is not None:
+            return self.delta.new
+        return self.findings
+
+    @property
+    def ok(self) -> bool:
+        return not self.gated_findings
+
+
+def run_lint(
+    paths: Sequence[Path],
+    *,
+    rules: Sequence[Rule] = ALL_RULES,
+    flow: bool = True,
+    base: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    update_baseline: bool = False,
+    cache: Optional[LintCache] = None,
+    jobs: int = 1,
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Run the full pipeline; pure library API (no I/O beyond files)."""
+    if base is None:
+        base = Path.cwd()
+    analyses, stats = analyze_tree(
+        paths, rules=rules, cache=cache, jobs=jobs
+    )
+    findings: List[Diagnostic] = []
+    for analysis in analyses:
+        findings.extend(analysis.diagnostics)
+    if flow:
+        findings.extend(
+            analyze_flow([a.summary for a in analyses])
+        )
+    if select:
+        wanted = set(select)
+        findings = [d for d in findings if d.rule in wanted]
+    findings.sort(key=lambda d: (str(d.path), d.line, d.col, d.rule))
+    result = LintResult(findings=findings, stats=stats, analyses=analyses)
+    if baseline_path is not None:
+        if update_baseline:
+            Baseline.from_findings(findings, base).save(baseline_path)
+            result.delta = BaselineDelta(known=list(findings))
+        elif baseline_path.exists():
+            baseline = Baseline.load(baseline_path)
+            result.delta = baseline.delta(findings, base)
+        else:
+            # Gating against a missing baseline == empty baseline:
+            # everything is new.  Explicit beats silently passing.
+            result.delta = Baseline().delta(findings, base)
+    return result
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` flags to ``parser`` (shared with the
+    top-level CLI so both front doors accept identical options)."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path, help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the full rule catalogue (syntactic + flow) and exit",
+    )
+    parser.add_argument(
+        "--no-flow",
+        action="store_true",
+        help="skip whole-program flow analysis (v1 behaviour)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="only report these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        metavar="FILE",
+        help="gate against this baseline: fail only on new findings",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline from the current findings and pass",
+    )
+    parser.add_argument(
+        "--sarif",
+        type=Path,
+        metavar="FILE",
+        help="write findings as SARIF 2.1.0 to FILE",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        metavar="FILE",
+        help="write findings as plain JSON to FILE",
+    )
+    parser.add_argument(
+        "--base",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="repository root for relative paths and fingerprints "
+        "(default: current directory)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="incremental cache directory (default: .simlint-cache "
+        "under --base when caching is enabled)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental result cache",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze files with N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache/analysis statistics to stderr",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "simlint v2: per-file determinism rules plus whole-program "
+            "taint and hook-purity analysis"
+        ),
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def run_cli(args: argparse.Namespace) -> int:
+    """Body of ``main`` given an already-parsed namespace (shared with
+    the ``repro lint`` subcommand)."""
+    if args.list_rules:
+        for rule_id, description in rule_catalogue():
+            print(f"{rule_id:14s} {description}")
+        return 0
+    if not args.paths:
+        print("repro lint: no paths given", file=sys.stderr)
+        return 2
+    if args.update_baseline and args.baseline is None:
+        print(
+            "repro lint: --update-baseline requires --baseline",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs < 1:
+        print("repro lint: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    base = (args.base or Path.cwd()).resolve()
+    cache: Optional[LintCache] = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or base / ".simlint-cache"
+        cache = LintCache(cache_dir)
+    try:
+        result = run_lint(
+            args.paths,
+            flow=not args.no_flow,
+            base=base,
+            baseline_path=args.baseline,
+            update_baseline=args.update_baseline,
+            cache=cache,
+            jobs=args.jobs,
+            select=args.select,
+        )
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.sarif is not None:
+        write_sarif(result.findings, base, args.sarif)
+    if args.json is not None:
+        write_json(result.findings, base, args.json)
+    gated = result.gated_findings
+    for diag in gated:
+        print(diag.render())
+    if result.delta is not None:
+        known = len(result.delta.known)
+        if known and not args.update_baseline:
+            print(
+                f"repro lint: {known} known finding(s) covered by "
+                f"baseline {args.baseline}",
+                file=sys.stderr,
+            )
+        for fp in result.delta.stale:
+            print(
+                f"repro lint: stale baseline entry {fp} (no longer "
+                "matches any finding; re-run with --update-baseline)",
+                file=sys.stderr,
+            )
+    if args.stats:
+        stats = result.stats
+        print(
+            f"repro lint: {stats['files']} file(s), "
+            f"{stats['analyzed']} analyzed, {stats['cached']} from cache",
+            file=sys.stderr,
+        )
+        if cache is not None:
+            print(f"repro lint: {cache.summary()}", file=sys.stderr)
+    if gated:
+        noun = "new finding(s)" if result.delta is not None else "finding(s)"
+        print(f"repro lint: {len(gated)} {noun}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    return run_cli(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,187 @@
+"""Diagnostic emitters: plain JSON and SARIF 2.1.0.
+
+SARIF is the interchange format GitHub code scanning ingests; one
+``repro lint --sarif out.sarif`` in CI turns every finding into an
+inline PR annotation.  The JSON emitter is the same payload without the
+SARIF framing, for scripts and tests.
+
+Fingerprints
+------------
+Every diagnostic gets a stable fingerprint — blake2b over
+``(relative path, rule, message)`` — deliberately excluding line and
+column so that unrelated edits shifting a finding up or down do not
+churn the committed baseline.  Two findings with identical text in one
+file share a fingerprint; the baseline stores a *count* per fingerprint,
+so "a second copy of a known finding appeared" still fails the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from hashlib import blake2b
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from .rules import ALL_RULES, Diagnostic
+from .flow import FLOW_RULES
+
+__all__ = [
+    "diagnostic_fingerprint",
+    "diagnostics_to_json",
+    "relative_path",
+    "rule_catalogue",
+    "to_sarif",
+    "write_json",
+    "write_sarif",
+]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_URI = "https://github.com/rapid-transit/repro"
+_DIGEST_SIZE = 16
+
+
+def rule_catalogue() -> List[Tuple[str, str]]:
+    """Every rule id with its one-line description, syntactic + flow."""
+    out = [(rule.name, rule.description) for rule in ALL_RULES]
+    out.extend(sorted(FLOW_RULES.items()))
+    return out
+
+
+def relative_path(path: Path, base: Path) -> str:
+    """``path`` relative to ``base`` when possible, POSIX-style."""
+    try:
+        rel = Path(path).resolve().relative_to(Path(base).resolve())
+    except ValueError:
+        rel = Path(path)
+    return rel.as_posix()
+
+
+def diagnostic_fingerprint(diag: Diagnostic, base: Path) -> str:
+    """Stable identity of a finding: path + rule + message, no line."""
+    material = json.dumps(
+        [relative_path(diag.path, base), diag.rule, diag.message],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return blake2b(
+        material.encode("utf-8"), digest_size=_DIGEST_SIZE
+    ).hexdigest()
+
+
+def diagnostics_to_json(
+    findings: Sequence[Diagnostic], base: Path
+) -> List[Dict[str, Any]]:
+    return [
+        {
+            "path": relative_path(d.path, base),
+            "line": d.line,
+            "col": d.col,
+            "rule": d.rule,
+            "message": d.message,
+            "fingerprint": diagnostic_fingerprint(d, base),
+        }
+        for d in findings
+    ]
+
+
+def to_sarif(
+    findings: Sequence[Diagnostic], base: Path
+) -> Dict[str, Any]:
+    """Render findings as one SARIF 2.1.0 run."""
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id.replace("-", "_"),
+            "shortDescription": {"text": description},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, description in rule_catalogue()
+    ]
+    rule_index = {entry["id"]: i for i, entry in enumerate(rules)}
+    results: List[Dict[str, Any]] = []
+    for diag in findings:
+        result: Dict[str, Any] = {
+            "ruleId": diag.rule,
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": relative_path(diag.path, base),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(diag.line, 1),
+                            "startColumn": max(diag.col, 0) + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "simlint/v1": diagnostic_fingerprint(diag, base)
+            },
+        }
+        index = rule_index.get(diag.rule)
+        if index is not None:
+            result["ruleIndex"] = index
+        results.append(result)
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": _TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": Path(base).resolve().as_uri() + "/"}
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def write_sarif(
+    findings: Sequence[Diagnostic], base: Path, output: Path
+) -> None:
+    payload = to_sarif(findings, base)
+    output.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def write_json(
+    findings: Sequence[Diagnostic], base: Path, output: Path
+) -> None:
+    payload = diagnostics_to_json(findings, base)
+    output.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_diagnostics_json(path: Path) -> List[Dict[str, Any]]:
+    """Read back a ``write_json`` payload (tests and tooling)."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON list of findings")
+    return data
+
+
+def iter_fingerprints(
+    findings: Sequence[Diagnostic], base: Path
+) -> Iterable[str]:
+    for diag in findings:
+        yield diagnostic_fingerprint(diag, base)

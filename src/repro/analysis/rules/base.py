@@ -10,17 +10,21 @@ Suppression syntax
 ------------------
 ``# simlint: allow-<rule>`` on the offending line suppresses that rule
 there; several directives may be comma-separated
-(``# simlint: allow-rng, allow-wallclock``).  ``# simlint: skip-file``
-within the first ten lines exempts the whole module.
+(``# simlint: allow-rng, allow-wallclock``).  A directive on the closing
+line of a multi-line (continuation) statement also covers the statement's
+first line, where the AST anchors the diagnostic.  ``# simlint:
+skip-file`` within the first ten lines exempts the whole module.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Sequence, Set, Tuple
+from typing import Dict, Iterator, Sequence, Set, Tuple
 
 __all__ = [
     "Diagnostic",
@@ -47,6 +51,42 @@ SIM_CRITICAL_PARTS = frozenset(
 )
 
 _DIRECTIVE_RE = re.compile(r"#\s*simlint:\s*([a-z\-,\s]+)")
+
+
+def _logical_line_starts(source: str) -> Dict[int, int]:
+    """Map each physical line to the first line of its logical statement.
+
+    A ``# simlint:`` directive on the closing line of a parenthesized or
+    backslash-continued statement must suppress the diagnostic anchored
+    at the statement's *first* line (where ``ast`` puts ``lineno``).
+    Tokenizing recovers that mapping; on any tokenize failure the map is
+    empty and suppression falls back to exact-line matching.
+    """
+    starts: Dict[int, int] = {}
+    current: int | None = None
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return starts
+    skip = (
+        tokenize.NEWLINE,
+        tokenize.NL,
+        tokenize.COMMENT,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENDMARKER,
+    )
+    for tok in tokens:
+        if tok.type == tokenize.NEWLINE:
+            current = None
+        elif tok.type not in skip:
+            if current is None:
+                current = tok.start[0]
+            for line in range(tok.start[0], tok.end[0] + 1):
+                starts.setdefault(line, current)
+    return starts
 
 
 @dataclass(frozen=True)
@@ -80,6 +120,7 @@ class FileContext:
     @classmethod
     def build(cls, path: Path, parts: Sequence[str], source: str) -> "FileContext":
         ctx = cls(path=path, parts=tuple(p.lower() for p in parts), source=source)
+        logical = _logical_line_starts(source)
         for lineno, line in enumerate(source.splitlines(), start=1):
             match = _DIRECTIVE_RE.search(line)
             if match is None:
@@ -96,13 +137,26 @@ class FileContext:
             }
             if allowed:
                 ctx.suppressions.setdefault(lineno, set()).update(allowed)
+                # A directive on a continuation line also covers the
+                # statement's first line, where diagnostics anchor.
+                start = logical.get(lineno)
+                if start is not None and start != lineno:
+                    ctx.suppressions.setdefault(start, set()).update(
+                        allowed
+                    )
         return ctx
 
     # -- path classification -------------------------------------------------
 
     @property
     def in_tests(self) -> bool:
-        return "tests" in self.parts
+        """Test code: a ``tests/`` tree, or a pytest-style module such as
+        the figure checks under ``benchmarks/`` (``assert`` is the idiom
+        there, and nothing in a test module feeds the event schedule)."""
+        if "tests" in self.parts:
+            return True
+        name = self.parts[-1] if self.parts else ""
+        return name.startswith("test_") or name == "conftest.py"
 
     @property
     def in_sim_critical(self) -> bool:

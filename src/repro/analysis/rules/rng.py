@@ -5,9 +5,10 @@ stochastic draw comes from a named, seed-derived stream
 (:class:`repro.sim.rng.RandomStreams`) or the jittered disk model's
 dedicated generator.  Any other generator — the stdlib ``random`` module,
 ``np.random.default_rng()``, ad-hoc ``SeedSequence``/``Generator``
-construction, or the legacy ``np.random.*`` global state — introduces
-draws that are unseeded, order-dependent, or shared across components,
-silently breaking bit-for-bit reproducibility.
+construction, the legacy ``np.random.*`` global state, or the pure
+host-entropy APIs (``os.urandom``, ``uuid.uuid1``/``uuid4``,
+``secrets.*``) — introduces draws that are unseeded, order-dependent, or
+shared across components, silently breaking bit-for-bit reproducibility.
 
 Blessed modules (exempt): ``sim/rng.py`` and ``machine/disk.py``.
 Suppress a single line with ``# simlint: allow-rng``.
@@ -23,11 +24,26 @@ from .base import Diagnostic, FileContext, Rule, dotted_name
 __all__ = ["UnblessedRngRule"]
 
 #: Dotted prefixes that mean "a generator is being constructed or the
-#: global numpy/stdlib RNG state is being touched".
-_FORBIDDEN_PREFIXES = ("random.", "np.random.", "numpy.random.")
+#: global numpy/stdlib RNG state is being touched".  ``secrets.*`` is an
+#: os-entropy API: every call is a fresh unseedable draw.
+_FORBIDDEN_PREFIXES = (
+    "random.",
+    "np.random.",
+    "numpy.random.",
+    "secrets.",
+)
 
-#: Bare names (possibly imported directly) that construct generators.
-_FORBIDDEN_CALLS = frozenset({"default_rng", "SeedSequence", "PCG64"})
+#: Exact dotted names that draw host entropy (never seedable).
+_FORBIDDEN_DOTTED = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4"})
+
+#: Bare names (possibly imported directly) that construct generators or
+#: draw host entropy.
+_FORBIDDEN_CALLS = frozenset(
+    {"default_rng", "SeedSequence", "PCG64", "urandom", "uuid1", "uuid4"}
+)
+
+#: ``from <module> import ...`` roots whose names are entropy sources.
+_FORBIDDEN_FROM_MODULES = ("random", "numpy.random", "secrets")
 
 #: Blessed module suffixes, relative to the scan root.
 _BLESSED = (("sim", "rng.py"), ("machine", "disk.py"))
@@ -37,7 +53,8 @@ class UnblessedRngRule(Rule):
     name = "rng"
     description = (
         "randomness outside the blessed RandomStreams / JitteredDiskModel "
-        "paths (stdlib random, np.random.*, SeedSequence/default_rng)"
+        "paths (stdlib random, np.random.*, SeedSequence/default_rng, "
+        "os.urandom, uuid.uuid1/uuid4, secrets)"
     )
 
     def check(
@@ -49,7 +66,7 @@ class UnblessedRngRule(Rule):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     root = alias.name.split(".")[0]
-                    if root == "random" or alias.name.startswith(
+                    if root in ("random", "secrets") or alias.name.startswith(
                         "numpy.random"
                     ):
                         yield self.diag(
@@ -60,7 +77,9 @@ class UnblessedRngRule(Rule):
                         )
             elif isinstance(node, ast.ImportFrom):
                 module = node.module or ""
-                if module == "random" or module.startswith("numpy.random"):
+                if module in _FORBIDDEN_FROM_MODULES or module.startswith(
+                    "numpy.random"
+                ):
                     names = ", ".join(a.name for a in node.names)
                     yield self.diag(
                         ctx,
@@ -68,11 +87,39 @@ class UnblessedRngRule(Rule):
                         f"from {module} import {names}: use "
                         "repro.sim.rng.RandomStreams named streams",
                     )
+                elif module == "os" and any(
+                    a.name == "urandom" for a in node.names
+                ):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        "from os import urandom: host entropy is never "
+                        "seedable — use a RandomStreams named stream",
+                    )
+                elif module == "uuid" and any(
+                    a.name in ("uuid1", "uuid4") for a in node.names
+                ):
+                    names = ", ".join(
+                        a.name
+                        for a in node.names
+                        if a.name in ("uuid1", "uuid4")
+                    )
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"from uuid import {names}: host-entropy uuids "
+                        "are nondeterministic — derive ids from the seed",
+                    )
             elif isinstance(node, ast.Attribute):
                 dotted = dotted_name(node)
                 if dotted is None:
                     continue
-                if any(dotted.startswith(p) for p in _FORBIDDEN_PREFIXES):
+                if any(
+                    dotted.startswith(p) for p in _FORBIDDEN_PREFIXES
+                ) or any(
+                    dotted == pat or dotted.endswith("." + pat)
+                    for pat in _FORBIDDEN_DOTTED
+                ):
                     yield self.diag(
                         ctx,
                         node,

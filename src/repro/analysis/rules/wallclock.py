@@ -17,7 +17,9 @@ from .base import Diagnostic, FileContext, Rule, dotted_name
 
 __all__ = ["WallClockRule"]
 
-#: Dotted suffixes that read the host clock.
+#: Dotted suffixes that read the host clock.  ``time.strftime`` belongs
+#: here because with one argument it formats *the current local time*;
+#: ``datetime.strftime`` (an explicit timestamp) stays legal.
 _FORBIDDEN = (
     "time.time",
     "time.time_ns",
@@ -27,6 +29,12 @@ _FORBIDDEN = (
     "time.monotonic_ns",
     "time.process_time",
     "time.process_time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.asctime",
+    "time.strftime",
+    "os.times",
     "datetime.now",
     "datetime.utcnow",
     "datetime.today",
@@ -44,8 +52,16 @@ _FORBIDDEN_TIME_IMPORTS = frozenset(
         "monotonic_ns",
         "process_time",
         "process_time_ns",
+        "localtime",
+        "gmtime",
+        "ctime",
+        "asctime",
+        "strftime",
     }
 )
+
+#: Names that, imported from ``os``, read host state when called.
+_FORBIDDEN_OS_IMPORTS = frozenset({"times"})
 
 
 def _is_forbidden(dotted: str) -> bool:
@@ -66,18 +82,22 @@ class WallClockRule(Rule):
     ) -> Iterator[Diagnostic]:
         for node in ast.walk(tree):
             if isinstance(node, ast.ImportFrom):
-                if (node.module or "") == "time":
+                module = node.module or ""
+                catalogue = {
+                    "time": _FORBIDDEN_TIME_IMPORTS,
+                    "os": _FORBIDDEN_OS_IMPORTS,
+                }.get(module)
+                if catalogue is not None:
                     bad = [
-                        a.name
-                        for a in node.names
-                        if a.name in _FORBIDDEN_TIME_IMPORTS
+                        a.name for a in node.names if a.name in catalogue
                     ]
                     if bad:
                         yield self.diag(
                             ctx,
                             node,
-                            f"from time import {', '.join(bad)}: wall-clock "
-                            "reads are nondeterministic — use env.now",
+                            f"from {module} import {', '.join(bad)}: "
+                            "wall-clock reads are nondeterministic — use "
+                            "env.now",
                         )
             elif isinstance(node, ast.Attribute):
                 dotted = dotted_name(node)

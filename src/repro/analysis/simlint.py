@@ -46,16 +46,26 @@ def collect_files(paths: Sequence[Path]) -> List[Tuple[Path, Path]]:
 
     The scan root anchors relative-path classification (which package a
     module belongs to), so rules behave identically whether the tree is
-    linted as ``src/`` or ``src/repro/``.
+    linted as ``src/`` or ``src/repro/``.  Overlapping scan paths (say
+    ``src/`` and ``src/repro/`` together) yield each file once, under
+    the first scan root that reached it — never duplicate diagnostics.
     """
     out: List[Tuple[Path, Path]] = []
+    seen: set[Path] = set()
+
+    def add(child: Path, root: Path) -> None:
+        resolved = child.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            out.append((child, root))
+
     for raw in paths:
         path = Path(raw)
         if path.is_file():
             # Only real source: never compiled bytecode (``*.pyc``) or a
             # stray module passed from inside ``__pycache__``.
             if path.suffix == ".py" and not set(path.parts) & _SKIP_DIRS:
-                out.append((path, path.parent))
+                add(path, path.parent)
             continue
         if not path.is_dir():
             raise FileNotFoundError(f"no such file or directory: {path}")
@@ -65,7 +75,7 @@ def collect_files(paths: Sequence[Path]) -> List[Tuple[Path, Path]]:
                 p.endswith(".egg-info") for p in child.parts
             ):
                 continue
-            out.append((child, path))
+            add(child, path)
     return out
 
 

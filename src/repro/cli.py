@@ -39,7 +39,11 @@ Subcommands:
   timelines + spans as CSV instead), ``obs timeline`` renders the span
   timeline as ASCII lanes, and ``obs attribute`` decomposes each node's
   wall time into compute / demand-I/O stall / sync wait / daemon theft
-  for a paired comparison.
+  for a paired comparison;
+* ``lint``    — simlint v2 (see docs/analysis.md): the per-file
+  determinism rules plus whole-program taint and hook-purity analysis,
+  with SARIF/JSON output, a findings baseline (fail only on new), an
+  incremental per-file result cache, and ``--jobs`` parallelism.
 
 ``run --audit`` additionally runs the paired comparison under the runtime
 auditor: event-trace hashing, the simultaneous-event race detector, and
@@ -60,6 +64,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .analysis.lint import add_lint_arguments, run_cli as lint_cli
 from .experiments import (
     ExperimentConfig,
     ablation_file_layout,
@@ -1243,6 +1248,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fshow.add_argument("plan", help="plan file (JSON)")
     p_fshow.set_defaults(func=_cmd_faults_show)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="simlint v2: determinism rules + whole-program flow "
+        "analysis (see docs/analysis.md)",
+    )
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=lint_cli)
     return parser
 
 

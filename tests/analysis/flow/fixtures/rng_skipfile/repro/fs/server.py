@@ -1,0 +1,10 @@
+"""Sim-critical consumer: the file server draws blocks from an RNG made
+in a skip-file'd utility module (v2 must flag the ``fresh_rng()`` call
+edge here; v1 sees nothing)."""
+
+from repro.util.entropy import fresh_rng
+
+
+def pick_block(n):
+    rng = fresh_rng()
+    return rng.randrange(n)

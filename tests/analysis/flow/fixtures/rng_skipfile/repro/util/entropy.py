@@ -1,0 +1,11 @@
+# simlint: skip-file
+"""Regression fixture: an RNG constructed in a non-blessed module whose
+per-file scan is disabled wholesale.  skip-file silences the syntactic
+rules for *this* file; it must not launder the randomness handed to
+sim-critical callers."""
+
+import random
+
+
+def fresh_rng():
+    return random.Random()

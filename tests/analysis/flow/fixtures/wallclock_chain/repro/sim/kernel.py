@@ -1,0 +1,8 @@
+"""Sim-critical consumer of the suppressed clock chain (v2 must flag
+the ``stamp()`` call edge here; v1 sees nothing)."""
+
+from repro.util.clock import stamp
+
+
+def step() -> float:
+    return stamp()

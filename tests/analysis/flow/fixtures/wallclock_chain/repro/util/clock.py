@@ -1,0 +1,14 @@
+"""Regression fixture: a wall-clock read hidden behind a two-hop helper
+chain.  The direct read is suppressed for a (claimed) legitimate use, so
+the per-file rules are clean — but every caller of ``stamp`` inherits
+host time.  simlint v2's taint pass must flag the sim-critical caller."""
+
+import time
+
+
+def read_clock() -> float:
+    return time.time()  # simlint: allow-wallclock
+
+
+def stamp() -> float:
+    return read_clock()

@@ -1,0 +1,88 @@
+"""Findings baseline: fail-only-on-new gating semantics."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.rules import Diagnostic
+
+BASE = Path("/base")
+
+
+def _diag(path="/base/repro/fs/mod.py", line=3, rule="rng", msg="bad"):
+    return Diagnostic(
+        path=Path(path), line=line, col=0, rule=rule, message=msg
+    )
+
+
+def test_round_trip_save_load(tmp_path):
+    baseline = Baseline.from_findings(
+        [_diag(), _diag(line=9), _diag(rule="wallclock", msg="clock")],
+        BASE,
+    )
+    out = tmp_path / "baseline.json"
+    baseline.save(out)
+    loaded = Baseline.load(out)
+    assert loaded.counts == baseline.counts
+    # Same-fingerprint findings (identical text, different lines) fold
+    # into one entry with a count.
+    assert sorted(loaded.counts.values()) == [1, 2]
+
+
+def test_entries_store_relative_paths(tmp_path):
+    baseline = Baseline.from_findings([_diag()], BASE)
+    (entry,) = baseline.entries.values()
+    assert entry["path"] == "repro/fs/mod.py"
+
+
+def test_delta_known_vs_new():
+    known = _diag()
+    baseline = Baseline.from_findings([known], BASE)
+    fresh = _diag(msg="never seen")
+    delta = baseline.delta([known, fresh], BASE)
+    assert delta.known == [known]
+    assert delta.new == [fresh]
+    assert not delta.ok
+
+
+def test_delta_is_count_aware():
+    """One recorded copy covers one occurrence: a second identical
+    finding is new."""
+    baseline = Baseline.from_findings([_diag()], BASE)
+    delta = baseline.delta([_diag(line=3), _diag(line=40)], BASE)
+    assert len(delta.known) == 1
+    assert len(delta.new) == 1
+
+
+def test_delta_reports_stale_entries():
+    baseline = Baseline.from_findings([_diag(), _diag(msg="gone")], BASE)
+    delta = baseline.delta([_diag()], BASE)
+    assert delta.ok
+    assert len(delta.stale) == 1
+
+
+def test_empty_baseline_everything_new():
+    delta = Baseline().delta([_diag()], BASE)
+    assert not delta.ok and len(delta.new) == 1
+
+
+def test_clean_scan_against_empty_baseline_passes():
+    delta = Baseline().delta([], BASE)
+    assert delta.ok and delta.stale == []
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    out = tmp_path / "nope.json"
+    out.write_text(json.dumps({"schema": "other", "findings": {}}))
+    with pytest.raises(ValueError):
+        Baseline.load(out)
+
+
+def test_saved_file_is_stable_and_sorted(tmp_path):
+    findings = [_diag(), _diag(rule="wallclock", msg="clock")]
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    Baseline.from_findings(findings, BASE).save(a)
+    Baseline.from_findings(list(reversed(findings)), BASE).save(b)
+    assert a.read_text() == b.read_text()

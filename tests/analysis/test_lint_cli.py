@@ -1,0 +1,150 @@
+"""``repro lint``: driver orchestration, baseline gate, emitters, CLI."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint import main, run_lint
+from repro.cli import build_parser
+
+
+def _seed_tree(tmp_path, kernel_body="    return stamp()\n"):
+    """A tree with one suppressed-wallclock chain into sim/."""
+    util = tmp_path / "repro" / "util"
+    sim = tmp_path / "repro" / "sim"
+    util.mkdir(parents=True)
+    sim.mkdir(parents=True)
+    (util / "clock.py").write_text(
+        "import time\n\n"
+        "def stamp():\n"
+        "    return time.time()  # simlint: allow-wallclock\n"
+    )
+    (sim / "kernel.py").write_text(
+        "from repro.util.clock import stamp\n\n"
+        "def step():\n" + kernel_body
+    )
+    return tmp_path
+
+
+def test_run_lint_combines_syntactic_and_flow(tmp_path):
+    root = _seed_tree(tmp_path)
+    (tmp_path / "repro" / "sim" / "bad.py").write_text("import random\n")
+    result = run_lint([root], base=root)
+    assert sorted(d.rule for d in result.findings) == [
+        "flow-taint",
+        "rng",
+    ]
+    assert not result.ok
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    root = _seed_tree(tmp_path)
+    assert main([str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "flow-taint" in out
+    assert main([str(root), "--no-flow", "--no-cache"]) == 0
+    assert main([]) == 2
+    assert main(["--update-baseline", str(root)]) == 2
+    assert main(["--jobs", "0", str(root)]) == 2
+    assert main(["--list-rules"]) == 0
+    listing = capsys.readouterr().out
+    assert "flow-taint" in listing and "flow-purity" in listing
+
+
+def test_baseline_update_then_gate(tmp_path, capsys):
+    root = _seed_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    args = [str(root), "--base", str(root), "--baseline", str(baseline)]
+    # Update: records the finding and passes.
+    assert main(args + ["--update-baseline", "--no-cache"]) == 0
+    assert baseline.exists()
+    # Gate: the same finding is known, so the run passes.
+    assert main(args + ["--no-cache"]) == 0
+    assert "known finding(s)" in capsys.readouterr().err
+    # A new finding fails the gate and is the only one printed.
+    (root / "repro" / "sim" / "bad.py").write_text("import random\n")
+    assert main(args + ["--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert "rng" in out and "flow-taint" not in out
+
+
+def test_baseline_stale_entries_warned(tmp_path, capsys):
+    root = _seed_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    args = [str(root), "--base", str(root), "--baseline", str(baseline)]
+    assert main(args + ["--update-baseline", "--no-cache"]) == 0
+    # Fix the finding: the baseline entry goes stale but the run passes.
+    (root / "repro" / "sim" / "kernel.py").write_text("x = 1\n")
+    capsys.readouterr()
+    assert main(args + ["--no-cache"]) == 0
+    assert "stale baseline entry" in capsys.readouterr().err
+
+
+def test_missing_baseline_gates_as_empty(tmp_path):
+    root = _seed_tree(tmp_path)
+    missing = tmp_path / "nope.json"
+    assert (
+        main(
+            [str(root), "--baseline", str(missing), "--no-cache"]
+        )
+        == 1
+    )
+    assert not missing.exists()
+
+
+def test_sarif_and_json_outputs(tmp_path):
+    root = _seed_tree(tmp_path)
+    sarif = tmp_path / "out.sarif"
+    plain = tmp_path / "out.json"
+    main(
+        [
+            str(root),
+            "--base",
+            str(root),
+            "--sarif",
+            str(sarif),
+            "--json",
+            str(plain),
+            "--no-cache",
+        ]
+    )
+    payload = json.loads(sarif.read_text())
+    assert payload["runs"][0]["results"]
+    entries = json.loads(plain.read_text())
+    assert entries[0]["rule"] == "flow-taint"
+    assert entries[0]["path"] == "repro/sim/kernel.py"
+
+
+def test_cache_integration_warm_run(tmp_path, capsys):
+    root = _seed_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    args = [
+        str(root),
+        "--cache-dir",
+        str(cache_dir),
+        "--stats",
+        "--no-flow",
+    ]
+    assert main(args) == 0
+    assert "2 analyzed, 0 from cache" in capsys.readouterr().err
+    assert main(args) == 0
+    assert "0 analyzed, 2 from cache" in capsys.readouterr().err
+
+
+def test_select_filters_rules(tmp_path):
+    root = _seed_tree(tmp_path)
+    (root / "repro" / "sim" / "bad.py").write_text("import random\n")
+    result = run_lint([root], base=root, select=["rng"])
+    assert [d.rule for d in result.findings] == ["rng"]
+
+
+def test_repro_cli_has_lint_verb(tmp_path):
+    parser = build_parser()
+    args = parser.parse_args(["lint", str(tmp_path), "--no-cache"])
+    assert args.func(args) == 0
+
+
+def test_shipped_tree_flow_clean():
+    """Acceptance: the full src/ scan (syntactic + flow) is clean."""
+    src = Path(__file__).resolve().parents[2] / "src"
+    result = run_lint([src], base=src.parent)
+    assert result.findings == []

@@ -1,0 +1,100 @@
+"""Incremental lint cache: content-addressed reuse of per-file analysis."""
+
+from repro.analysis.lintcache import (
+    FileAnalysis,
+    LintCache,
+    analyze_one,
+    analyze_tree,
+    file_digest,
+)
+
+
+def _tree(tmp_path):
+    root = tmp_path / "proj"
+    fs = root / "repro" / "fs"
+    fs.mkdir(parents=True)
+    (fs / "a.py").write_text("import random\n")
+    (fs / "b.py").write_text("x = 1\n")
+    return root
+
+
+def test_warm_rescan_analyzes_zero_files(tmp_path):
+    """Acceptance: a warm incremental re-scan re-analyzes nothing."""
+    root = _tree(tmp_path)
+    cache = LintCache(tmp_path / "cache")
+    _, cold = analyze_tree([root], cache=cache)
+    assert cold == {"files": 2, "analyzed": 2, "cached": 0}
+    results, warm = analyze_tree([root], cache=cache)
+    assert warm == {"files": 2, "analyzed": 0, "cached": 2}
+    assert all(r.from_cache for r in results)
+    # Cached diagnostics are identical to fresh ones.
+    assert [d.rule for r in results for d in r.diagnostics] == ["rng"]
+
+
+def test_editing_one_file_invalidates_only_it(tmp_path):
+    root = _tree(tmp_path)
+    cache = LintCache(tmp_path / "cache")
+    analyze_tree([root], cache=cache)
+    (root / "repro" / "fs" / "b.py").write_text("y = 2\n")
+    _, stats = analyze_tree([root], cache=cache)
+    assert stats == {"files": 2, "analyzed": 1, "cached": 1}
+
+
+def test_digest_depends_on_relative_location(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text("x = 1\n")
+    assert file_digest(f, ("repro", "fs", "mod.py")) != file_digest(
+        f, ("repro", "sim", "mod.py")
+    )
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    root = _tree(tmp_path)
+    cache = LintCache(tmp_path / "cache")
+    analyze_tree([root], cache=cache)
+    for entry in cache.directory.glob("*.json"):
+        entry.write_text("{not json")
+    cache2 = LintCache(tmp_path / "cache")
+    _, stats = analyze_tree([root], cache=cache2)
+    assert stats["analyzed"] == 2
+    assert cache2.misses == 2
+
+
+def test_file_analysis_json_round_trip(tmp_path):
+    root = _tree(tmp_path)
+    analysis = analyze_one(root / "repro" / "fs" / "a.py", root)
+    restored = FileAnalysis.from_json(analysis.to_json())
+    assert restored.digest == analysis.digest
+    assert restored.diagnostics == analysis.diagnostics
+    assert restored.summary == analysis.summary
+
+
+def test_syntax_error_produces_parse_diag_and_inert_summary(tmp_path):
+    root = tmp_path / "proj"
+    (root / "repro").mkdir(parents=True)
+    bad = root / "repro" / "bad.py"
+    bad.write_text("def f(:\n")
+    analysis = analyze_one(bad, root)
+    assert [d.rule for d in analysis.diagnostics] == ["parse"]
+    assert analysis.summary.skip_file  # never feeds flow analysis
+
+
+def test_parallel_jobs_match_serial(tmp_path):
+    root = _tree(tmp_path)
+    serial, _ = analyze_tree([root])
+    parallel, _ = analyze_tree([root], jobs=2)
+    assert [a.path for a in serial] == [a.path for a in parallel]
+    assert [a.diagnostics for a in serial] == [
+        a.diagnostics for a in parallel
+    ]
+    assert [a.summary for a in serial] == [a.summary for a in parallel]
+
+
+def test_cache_hit_counters(tmp_path):
+    root = _tree(tmp_path)
+    cache = LintCache(tmp_path / "cache")
+    analyze_tree([root], cache=cache)
+    assert (cache.hits, cache.misses) == (0, 2)
+    analyze_tree([root], cache=cache)
+    assert (cache.hits, cache.misses) == (2, 2)
+    assert "2 hit(s)" in cache.summary()

@@ -1,0 +1,93 @@
+"""SARIF / JSON emitters and finding fingerprints."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.reporting import (
+    diagnostic_fingerprint,
+    diagnostics_to_json,
+    load_diagnostics_json,
+    rule_catalogue,
+    to_sarif,
+    write_json,
+    write_sarif,
+)
+from repro.analysis.rules import Diagnostic
+
+
+def _diag(path="/base/repro/fs/mod.py", line=3, rule="rng", msg="bad"):
+    return Diagnostic(
+        path=Path(path), line=line, col=0, rule=rule, message=msg
+    )
+
+
+def test_rule_catalogue_includes_flow_rules():
+    ids = [rule_id for rule_id, _ in rule_catalogue()]
+    assert "rng" in ids and "wallclock" in ids
+    assert "flow-taint" in ids and "flow-purity" in ids
+
+
+def test_fingerprint_ignores_line_numbers():
+    base = Path("/base")
+    a = _diag(line=3)
+    b = _diag(line=300)
+    assert diagnostic_fingerprint(a, base) == diagnostic_fingerprint(b, base)
+
+
+def test_fingerprint_distinguishes_rule_path_message():
+    base = Path("/base")
+    fp = diagnostic_fingerprint(_diag(), base)
+    assert fp != diagnostic_fingerprint(_diag(rule="wallclock"), base)
+    assert fp != diagnostic_fingerprint(_diag(msg="other"), base)
+    assert fp != diagnostic_fingerprint(
+        _diag(path="/base/repro/fs/other.py"), base
+    )
+
+
+def test_sarif_payload_structure(tmp_path):
+    base = tmp_path
+    diag = _diag(path=str(tmp_path / "repro/fs/mod.py"))
+    payload = to_sarif([diag], base)
+    assert payload["version"] == "2.1.0"
+    (run,) = payload["runs"]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert "flow-taint" in rule_ids
+    (result,) = run["results"]
+    assert result["ruleId"] == "rng"
+    assert result["level"] == "error"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "repro/fs/mod.py"
+    assert loc["artifactLocation"]["uriBaseId"] == "SRCROOT"
+    assert loc["region"]["startLine"] == 3
+    assert result["partialFingerprints"]["simlint/v1"]
+    assert result["ruleIndex"] == rule_ids.index("rng")
+    assert "SRCROOT" in run["originalUriBaseIds"]
+
+
+def test_write_sarif_is_valid_json(tmp_path):
+    out = tmp_path / "out.sarif"
+    write_sarif([_diag()], Path("/base"), out)
+    payload = json.loads(out.read_text())
+    assert payload["runs"][0]["results"]
+
+
+def test_json_emitter_round_trip(tmp_path):
+    out = tmp_path / "findings.json"
+    diag = _diag()
+    write_json([diag], Path("/base"), out)
+    entries = load_diagnostics_json(out)
+    assert entries == diagnostics_to_json([diag], Path("/base"))
+    (entry,) = entries
+    assert entry["path"] == "repro/fs/mod.py"
+    assert entry["rule"] == "rng"
+    assert entry["fingerprint"] == diagnostic_fingerprint(
+        diag, Path("/base")
+    )
+
+
+def test_paths_outside_base_kept_verbatim():
+    entry = diagnostics_to_json(
+        [_diag(path="/elsewhere/x.py")], Path("/base")
+    )[0]
+    assert entry["path"] == "/elsewhere/x.py"

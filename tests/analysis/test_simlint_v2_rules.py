@@ -1,0 +1,206 @@
+"""simlint v2 satellites: widened source catalogues, overlapping-path
+dedup, and suppression edge cases."""
+
+from repro.analysis.simlint import collect_files, lint_paths
+
+
+def _lint_snippet(tmp_path, source, rel="repro/fs/mod.py"):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_paths([tmp_path])
+
+
+def _rules(findings):
+    return [d.rule for d in findings]
+
+
+# ----------------------------------------- widened wall-clock catalogue
+
+
+def test_wallclock_flags_calendar_functions(tmp_path):
+    for func in ("localtime", "gmtime", "ctime", "asctime", "strftime"):
+        findings = _lint_snippet(
+            tmp_path,
+            f"import time\n\ndef f():\n    return time.{func}()\n",
+        )
+        assert _rules(findings) == ["wallclock"], func
+
+
+def test_wallclock_flags_calendar_imports(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "from time import strftime, localtime\n"
+    )
+    assert _rules(findings) == ["wallclock"]
+    assert "strftime" in findings[0].message
+    assert "localtime" in findings[0].message
+
+
+def test_wallclock_flags_os_times(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "import os\n\ndef f():\n    return os.times()\n"
+    )
+    assert _rules(findings) == ["wallclock"]
+    findings = _lint_snippet(tmp_path, "from os import times\n")
+    assert _rules(findings) == ["wallclock"]
+
+
+def test_wallclock_negative_os_path_clean(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "import os\n\ndef f(p):\n    return os.path.join(p, 'x')\n",
+    )
+    assert findings == []
+
+
+# ------------------------------------------------ widened RNG catalogue
+
+
+def test_rng_flags_os_urandom(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "import os\n\ndef f():\n    return os.urandom(8)\n"
+    )
+    assert _rules(findings) == ["rng"]
+    findings = _lint_snippet(tmp_path, "from os import urandom\n")
+    assert _rules(findings) == ["rng"]
+
+
+def test_rng_flags_uuid_entropy_constructors(tmp_path):
+    for func in ("uuid1", "uuid4"):
+        findings = _lint_snippet(
+            tmp_path,
+            f"import uuid\n\ndef f():\n    return uuid.{func}()\n",
+        )
+        assert _rules(findings) == ["rng"], func
+    findings = _lint_snippet(tmp_path, "from uuid import uuid4\n")
+    assert _rules(findings) == ["rng"]
+
+
+def test_rng_negative_deterministic_uuid_clean(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "import uuid\n\n"
+        "def f(ns, name):\n"
+        "    return uuid.uuid5(ns, name)\n",
+    )
+    assert findings == []
+
+
+def test_rng_flags_secrets(tmp_path):
+    findings = _lint_snippet(tmp_path, "import secrets\n")
+    assert _rules(findings) == ["rng"]
+    findings = _lint_snippet(
+        tmp_path,
+        "import secrets\n\ndef f():\n    return secrets.token_hex(8)\n",
+    )
+    assert _rules(findings) == ["rng", "rng"]
+    findings = _lint_snippet(tmp_path, "from secrets import token_bytes\n")
+    assert _rules(findings) == ["rng"]
+
+
+# ------------------------------------------------- overlapping-path dedup
+
+
+def test_collect_files_dedupes_overlapping_roots(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "fs"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text("x = 1\n")
+    pairs = collect_files([tmp_path / "src", tmp_path / "src" / "repro"])
+    assert [p for p, _ in pairs] == [pkg / "mod.py"]
+    # The first scan root claims the file (its rel-parts classification).
+    assert pairs[0][1] == tmp_path / "src"
+
+
+def test_collect_files_dedupes_explicit_file_and_parent(tmp_path):
+    pkg = tmp_path / "repro" / "fs"
+    pkg.mkdir(parents=True)
+    mod = pkg / "mod.py"
+    mod.write_text("x = 1\n")
+    pairs = collect_files([tmp_path, mod])
+    assert len(pairs) == 1
+
+
+def test_overlapping_roots_report_each_finding_once(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "fs"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text("import random\n")
+    findings = lint_paths([tmp_path / "src", tmp_path / "src" / "repro"])
+    assert _rules(findings) == ["rng"]
+
+
+# ------------------------------------------------ suppression edge cases
+
+
+def test_multi_rule_suppression_comment(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "import time\nimport numpy as np\n\n"
+        "def f():\n"
+        "    return (np.random.random(), time.time())"
+        "  # simlint: allow-rng, allow-wallclock\n",
+    )
+    assert findings == []
+
+
+def test_multi_rule_suppression_is_not_a_wildcard(tmp_path):
+    """The directive names specific rules; others on the line still fire."""
+    findings = _lint_snippet(
+        tmp_path,
+        "import time\nimport numpy as np\n\n"
+        "def f():\n"
+        "    return (np.random.random(), time.time())"
+        "  # simlint: allow-rng\n",
+    )
+    assert _rules(findings) == ["wallclock"]
+
+
+def test_skip_file_after_first_lines_is_ignored(tmp_path):
+    body = "\n".join(f"x{i} = {i}" for i in range(12))
+    findings = _lint_snippet(
+        tmp_path, body + "\n# simlint: skip-file\nimport random\n"
+    )
+    assert _rules(findings) == ["rng"]
+
+
+def test_skip_file_within_header_honoured(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, '"""doc"""\n# simlint: skip-file\nimport random\n'
+    )
+    assert findings == []
+
+
+def test_suppression_on_continuation_line_covers_statement(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "import time\n\n"
+        "def f():\n"
+        "    return time.time(\n"
+        "    )  # simlint: allow-wallclock\n",
+    )
+    assert findings == []
+
+
+def test_suppression_on_backslash_continuation(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "import time\n\n"
+        "def f():\n"
+        "    t = \\\n"
+        "        time.time()  # simlint: allow-wallclock\n"
+        "    return t\n",
+    )
+    assert findings == []
+
+
+def test_continuation_suppression_does_not_leak_to_neighbours(tmp_path):
+    findings = _lint_snippet(
+        tmp_path,
+        "import time\n\n"
+        "def f():\n"
+        "    a = time.time(\n"
+        "    )  # simlint: allow-wallclock\n"
+        "    b = time.time()\n"
+        "    return a, b\n",
+    )
+    assert _rules(findings) == ["wallclock"]
+    assert findings[0].line == 6
