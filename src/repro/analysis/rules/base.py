@@ -42,6 +42,7 @@ SIM_CRITICAL_PARTS = frozenset(
         "fs",
         "machine",
         "prefetch",
+        "adaptive",
         "workload",
         "traces",
         "faults",

@@ -117,6 +117,7 @@ from .metrics.report import (
     paired_measure_rows,
     render_table,
 )
+from .prefetch.factory import policy_choices
 from .workload.patterns import PATTERN_NAMES
 from .workload.synchronization import SYNC_STYLES
 
@@ -331,6 +332,72 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     tag = " (with observability recorder attached)" if args.obs else ""
     print(f"determinism audit{tag}:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    from .experiments.tournament import (
+        NO_PREFETCH,
+        TournamentSpec,
+        run_tournament,
+    )
+
+    try:
+        spec = TournamentSpec(
+            patterns=tuple(args.patterns),
+            sync_styles=tuple(args.sync),
+            policies=tuple(args.policies),
+            base=ExperimentConfig(
+                compute_mean=args.compute,
+                seed=args.seed,
+                n_nodes=args.nodes,
+                n_disks=args.disks,
+                file_blocks=args.file_blocks,
+                total_reads=args.reads,
+                faults=_load_faults(args),
+            ),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tournament = run_tournament(
+        spec,
+        jobs=args.jobs,
+        cache=_open_cache(args),
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(tournament.to_csv())
+        print(f"wrote {args.csv}", file=sys.stderr)
+    print(tournament.render())
+    print()
+    print("standings (cells won):")
+    for policy, wins in tournament.standings():
+        print(f"  {policy}: {wins}")
+    if NO_PREFETCH in spec.policies:
+        for policy in spec.policies:
+            if policy == NO_PREFETCH:
+                continue
+            won, total = tournament.beats_baseline(policy)
+            print(f"{policy} beat no-prefetch in {won}/{total} cells")
+
+    digest = tournament.digest()
+    print(f"tournament digest: {digest}")
+    if args.digest_out:
+        with open(args.digest_out, "w") as fh:
+            fh.write(digest + "\n")
+    if args.check_digest:
+        with open(args.check_digest) as fh:
+            expected = fh.read().strip()
+        if digest != expected:
+            print(
+                f"digest mismatch: expected {expected}, got {digest}",
+                file=sys.stderr,
+            )
+            return 1
+        print("digest check: PASS")
+    return 0
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -888,7 +955,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mean per-block compute time (ms)")
     p_run.add_argument("--seed", type=int, default=1)
     p_run.add_argument("--policy", default="oracle",
-                       choices=["oracle", "obl", "portion", "global-seq"])
+                       choices=list(policy_choices()))
     p_run.add_argument("--lead", type=int, default=0)
     p_run.add_argument(
         "--audit", action="store_true",
@@ -921,7 +988,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("--compute", type=float, default=30.0)
     p_audit.add_argument("--seed", type=int, default=1)
     p_audit.add_argument("--policy", default="oracle",
-                         choices=["oracle", "obl", "portion", "global-seq"])
+                         choices=list(policy_choices()))
     p_audit.add_argument("--nodes", type=int, default=4,
                          help="machine size for the audit run")
     p_audit.add_argument("--disks", type=int, default=4)
@@ -943,6 +1010,53 @@ def build_parser() -> argparse.ArgumentParser:
         "timeline sampling are schedule-neutral",
     )
     p_audit.set_defaults(func=_cmd_audit)
+
+    p_tour = sub.add_parser(
+        "tournament",
+        help="race prefetch policies across the pattern/sync matrix "
+        "and print the league table",
+    )
+    p_tour.add_argument(
+        "--patterns", nargs="+", choices=PATTERN_NAMES,
+        default=list(PATTERN_NAMES), metavar="PATTERN",
+        help=f"patterns to race over (default: all of {PATTERN_NAMES})",
+    )
+    p_tour.add_argument(
+        "--sync", nargs="+", choices=SYNC_STYLES, default=["none"],
+        metavar="STYLE",
+        help="sync styles to race over (default: none); lw x portion "
+        "cells are skipped",
+    )
+    p_tour.add_argument(
+        "--policies", nargs="+", default=["none", "oracle", "adaptive"],
+        metavar="POLICY",
+        help="entrants: 'none' (no prefetching) or any registered "
+        "policy (default: none oracle adaptive)",
+    )
+    p_tour.add_argument("--compute", type=float, default=30.0,
+                        help="mean per-block compute time (ms)")
+    p_tour.add_argument("--seed", type=int, default=1)
+    p_tour.add_argument("--nodes", type=int, default=20)
+    p_tour.add_argument("--disks", type=int, default=20)
+    p_tour.add_argument("--file-blocks", type=int, default=2000)
+    p_tour.add_argument("--reads", type=int, default=None,
+                        help="total reads (default: the paper's 2000)")
+    p_tour.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="race every entrant under this fault plan",
+    )
+    p_tour.add_argument("--csv", default=None, metavar="FILE",
+                        help="also write the league table as CSV")
+    p_tour.add_argument(
+        "--digest-out", default=None, metavar="FILE",
+        help="write the tournament digest (for a later --check-digest)",
+    )
+    p_tour.add_argument(
+        "--check-digest", default=None, metavar="FILE",
+        help="compare against a saved digest; exit 1 on mismatch",
+    )
+    _add_perf_flags(p_tour)
+    p_tour.set_defaults(func=_cmd_tournament)
 
     p_suite = sub.add_parser("suite", help="run the full paper mix")
     p_suite.add_argument("--seed", type=int, default=1)
@@ -1057,7 +1171,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_repl.add_argument("trace", help="replay trace file")
     p_repl.add_argument("--policy", default="oracle",
-                        choices=["oracle", "obl", "portion", "global-seq"])
+                        choices=list(policy_choices()))
     p_repl.add_argument("--lead", type=int, default=0)
     p_repl.add_argument(
         "--disks", type=int, default=None,
@@ -1125,7 +1239,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--compute", type=float, default=30.0)
         p.add_argument("--seed", type=int, default=1)
         p.add_argument("--policy", default="oracle",
-                       choices=["oracle", "obl", "portion", "global-seq"])
+                       choices=list(policy_choices()))
         p.add_argument("--lead", type=int, default=0)
         p.add_argument("--nodes", type=int, default=4)
         p.add_argument("--disks", type=int, default=4)

@@ -20,9 +20,6 @@ from ..workload.synchronization import SYNC_STYLES
 __all__ = ["ExperimentConfig"]
 
 
-_POLICIES = ("oracle", "obl", "portion", "global-seq", "global-portion", "null")
-
-
 @dataclass(frozen=True)
 class ExperimentConfig:
     """Full description of one experimental run."""
@@ -40,13 +37,21 @@ class ExperimentConfig:
 
     # Prefetching.
     prefetch: bool = True
-    #: Policy when prefetching: "oracle" (the paper) or an on-the-fly
-    #: predictor ("obl", "portion", "global-seq").
+    #: Policy when prefetching: any name registered with the policy
+    #: factory — "oracle" (the paper), an on-the-fly predictor ("obl",
+    #: "portion", "global-seq", "global-portion"), the feedback-driven
+    #: "adaptive", or "null".
     policy: str = "oracle"
     #: Minimum prefetch lead in references (Section V-E).
     lead: int = 0
     #: Minimum-prefetch-time throttle, ms (Section V-D).
     min_prefetch_time: float = 0.0
+
+    # Adaptive-policy knobs (used only when ``policy == "adaptive"``;
+    # see docs/adaptive.md for the full reference).
+    adaptive_min_distance: int = 1
+    adaptive_initial_distance: int = 2
+    adaptive_max_distance: int = 12
 
     # Machine (paper defaults).
     n_nodes: int = 20
@@ -96,8 +101,23 @@ class ExperimentConfig:
             raise ValueError(f"unknown pattern {self.pattern!r}")
         if self.sync_style not in SYNC_STYLES + ("replay",):
             raise ValueError(f"unknown sync style {self.sync_style!r}")
-        if self.policy not in _POLICIES:
-            raise ValueError(f"unknown policy {self.policy!r}")
+        from ..prefetch.factory import policy_choices
+
+        if self.policy not in policy_choices():
+            raise ValueError(
+                f"unknown policy {self.policy!r}; "
+                f"known: {list(policy_choices())}"
+            )
+        if not (
+            1
+            <= self.adaptive_min_distance
+            <= self.adaptive_initial_distance
+            <= self.adaptive_max_distance
+        ):
+            raise ValueError(
+                "need 1 <= adaptive_min_distance <= "
+                "adaptive_initial_distance <= adaptive_max_distance"
+            )
         if self.compute_mean < 0:
             raise ValueError("compute_mean must be non-negative")
         if self.lead < 0:

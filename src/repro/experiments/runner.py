@@ -26,14 +26,8 @@ from ..machine.node import IdleKind
 from ..metrics.collector import RunMetrics
 from ..obs.attribution import attribute_run, attribution_digest
 from ..prefetch.daemon import DaemonConfig, PrefetchDaemon
-from ..prefetch.oracle import OraclePolicy
+from ..prefetch.factory import build_policy
 from ..prefetch.policy import PrefetchPolicy
-from ..prefetch.predictors import (
-    GlobalPortionPolicy,
-    GlobalSequentialPolicy,
-    OBLPolicy,
-    PortionPolicy,
-)
 from ..sim.core import Environment
 from ..sim.rng import RandomStreams
 from ..workload.application import application
@@ -126,6 +120,22 @@ class RunResult:
     read_p50: float = 0.0
     read_p99: float = 0.0
 
+    # Unused-prefetch accounting: wasted prefetches, split into blocks
+    # evicted/invalidated before first use mid-run and blocks still
+    # unread when the run ended.
+    prefetch_unused_evicted: int = 0
+    prefetch_unused_at_end: int = 0
+
+    #: Downsampled (sim time, mean distance) trajectory of the adaptive
+    #: policy's feedback-controlled readahead distance (empty for every
+    #: other policy).
+    adaptive_distance_trajectory: List[List[float]] = field(
+        default_factory=list
+    )
+    #: Initial/final/min/max mean distance and change count (empty for
+    #: non-adaptive runs).
+    adaptive_distance_summary: Dict[str, float] = field(default_factory=dict)
+
     #: Per-node wall-time decomposition into compute / demand-I/O stall /
     #: sync wait / daemon theft (see :mod:`repro.obs.attribution`).
     #: Computed for every run, so cached results can answer
@@ -163,6 +173,15 @@ class RunResult:
     def label(self) -> str:
         return self.config.label
 
+    @property
+    def unused_prefetch_rate(self) -> float:
+        """Fraction of prefetched blocks that never served a demand hit
+        (evicted/invalidated mid-run, or still unread at run end)."""
+        if self.blocks_prefetched == 0:
+            return 0.0
+        wasted = self.prefetch_unused_evicted + self.prefetch_unused_at_end
+        return wasted / self.blocks_prefetched
+
 
 def _make_end_recorder(slots: List[float], index: int, env: Environment):
     """A passive termination callback noting when one app finished."""
@@ -176,17 +195,26 @@ def _make_end_recorder(slots: List[float], index: int, env: Environment):
 def _build_policy(
     config: ExperimentConfig, pattern, tracker
 ) -> PrefetchPolicy:
-    if config.policy == "oracle":
-        return OraclePolicy(pattern, tracker, lead=config.lead)
-    if config.policy == "obl":
-        return OBLPolicy(config.file_blocks)
-    if config.policy == "portion":
-        return PortionPolicy(config.file_blocks)
-    if config.policy == "global-seq":
-        return GlobalSequentialPolicy(config.file_blocks)
-    if config.policy == "global-portion":
-        return GlobalPortionPolicy(config.file_blocks)
-    raise ValueError(f"unknown policy {config.policy!r}")
+    """Construct ``config.policy`` through the shared factory registry
+    (kept as a seam for tests; see :mod:`repro.prefetch.factory`)."""
+    return build_policy(config, pattern, tracker)
+
+
+#: Maximum distance-trajectory points carried on a RunResult (the full
+#: trajectory lives on the policy; results keep a downsampled sketch so
+#: the slim wire form stays small).
+_TRAJECTORY_POINTS = 64
+
+
+def _downsample(points, limit: int = _TRAJECTORY_POINTS) -> List[List[float]]:
+    """At most ``limit`` evenly-spaced (time, value) points, as lists."""
+    if len(points) <= limit:
+        return [[t, v] for t, v in points]
+    step = (len(points) - 1) / (limit - 1)
+    return [
+        [points[round(i * step)][0], points[round(i * step)][1]]
+        for i in range(limit)
+    ]
 
 
 def materialize_pattern(config: ExperimentConfig, rng: RandomStreams):
@@ -286,6 +314,7 @@ def run_materialized(
             total_k=config.total_k,
         )
 
+    policy: Optional[PrefetchPolicy] = None
     if config.prefetch:
         policy = _build_policy(config, pattern, tracker)
         policy.bind(cache)
@@ -375,6 +404,15 @@ def run_materialized(
         start_time=metrics.start_time if metrics.start_time else 0.0,
     )
 
+    # Distance trajectory (adaptive policy only; duck-typed so custom
+    # feedback policies registered with the factory report it too).
+    trajectory_fn = getattr(policy, "distance_trajectory", None)
+    summary_fn = getattr(policy, "distance_summary", None)
+    distance_trajectory = (
+        _downsample(trajectory_fn()) if trajectory_fn is not None else []
+    )
+    distance_summary = summary_fn() if summary_fn is not None else {}
+
     return RunResult(
         config=config,
         total_time=metrics.total_time,
@@ -409,6 +447,10 @@ def run_materialized(
         read_p99=metrics.read_times.percentile(99.0)
         if metrics.read_times.count
         else 0.0,
+        prefetch_unused_evicted=metrics.prefetch_unused_evictions,
+        prefetch_unused_at_end=cache.unused_prefetched,
+        adaptive_distance_trajectory=distance_trajectory,
+        adaptive_distance_summary=distance_summary,
         node_attribution=node_attribution,
         obs_digest=attribution_digest(node_attribution),
         n_events=env.event_count,

@@ -1,0 +1,314 @@
+"""The policy tournament: race prefetch policies over identical workloads.
+
+Boukhobza & Timsit validate trace-driven disk simulation by racing
+policies over identical recorded workloads (arXiv:1005.5241); this driver
+does the same for prefetch policies.  Every (pattern, sync) cell of the
+paper's matrix is run once per entrant — same seed, same machine, same
+workload geometry — so within a cell the *only* difference is the policy.
+The special entrant ``"none"`` is the no-prefetch baseline; every other
+name resolves through the shared policy factory
+(:mod:`repro.prefetch.factory`), so oracles, on-the-fly predictors, and
+the adaptive policy race under one flag.
+
+All runs are batched through the perf executor
+(:func:`repro.perf.executor.execute_runs`): ``--jobs`` fans them out to
+worker processes and the content-addressed run cache memoizes repeats.
+:meth:`TournamentResult.digest` hashes every cell's reported numbers, so
+two executions of the same tournament must produce equal digests — the
+CI smoke's determinism gate.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..metrics.report import LEAGUE_COLUMNS, league_row, render_table
+from ..workload.patterns import PATTERN_NAMES
+from ..workload.synchronization import SYNC_STYLES
+from .config import ExperimentConfig
+from .runner import RunResult
+
+__all__ = [
+    "NO_PREFETCH",
+    "TournamentSpec",
+    "TournamentCell",
+    "TournamentResult",
+    "run_tournament",
+]
+
+#: The baseline entrant: a paired run with prefetching disabled.
+NO_PREFETCH = "none"
+
+#: CSV columns of :meth:`TournamentResult.to_csv`.
+CSV_COLUMNS = (
+    "pattern",
+    "sync",
+    "policy",
+    "winner",
+    "total_time",
+    "read_p50",
+    "read_p99",
+    "hit_ratio",
+    "blocks_prefetched",
+    "unused_evicted",
+    "unused_at_end",
+    "unused_rate",
+    "distance_initial",
+    "distance_final",
+)
+
+
+@dataclass(frozen=True)
+class TournamentSpec:
+    """What to race: the cell matrix, the entrants, and the base config.
+
+    ``base`` supplies everything except pattern/sync/policy (machine
+    size, seed, compute intensity, fault plan, ...); its own pattern and
+    sync fields are ignored.
+    """
+
+    patterns: Tuple[str, ...] = PATTERN_NAMES
+    sync_styles: Tuple[str, ...] = ("none",)
+    policies: Tuple[str, ...] = (NO_PREFETCH, "oracle", "adaptive")
+    base: ExperimentConfig = field(default_factory=ExperimentConfig)
+
+    def __post_init__(self) -> None:
+        from ..prefetch.factory import policy_choices
+
+        if not self.patterns:
+            raise ValueError("tournament needs at least one pattern")
+        if not self.sync_styles:
+            raise ValueError("tournament needs at least one sync style")
+        if len(self.policies) < 2:
+            raise ValueError("tournament needs at least two entrants")
+        for pattern in self.patterns:
+            if pattern not in PATTERN_NAMES:
+                raise ValueError(f"unknown pattern {pattern!r}")
+        for sync in self.sync_styles:
+            if sync not in SYNC_STYLES:
+                raise ValueError(f"unknown sync style {sync!r}")
+        known = policy_choices() + (NO_PREFETCH,)
+        for policy in self.policies:
+            if policy not in known:
+                raise ValueError(
+                    f"unknown entrant {policy!r}; known: {sorted(known)}"
+                )
+        if len(set(self.policies)) != len(self.policies):
+            raise ValueError("duplicate entrants")
+
+    def cells(self) -> Iterator[Tuple[str, str]]:
+        """Every valid (pattern, sync) cell, in matrix order (lw/portion
+        is skipped: the paper's footnote 3 combination does not exist)."""
+        for pattern in self.patterns:
+            for sync in self.sync_styles:
+                if pattern == "lw" and sync == "portion":
+                    continue
+                yield pattern, sync
+
+    def config_for(
+        self, pattern: str, sync_style: str, policy: str
+    ) -> ExperimentConfig:
+        """The run config of one entrant in one cell."""
+        if policy == NO_PREFETCH:
+            return self.base.with_overrides(
+                pattern=pattern, sync_style=sync_style, prefetch=False
+            )
+        return self.base.with_overrides(
+            pattern=pattern,
+            sync_style=sync_style,
+            prefetch=True,
+            policy=policy,
+        )
+
+
+@dataclass
+class TournamentCell:
+    """One entrant's run in one cell."""
+
+    pattern: str
+    sync_style: str
+    policy: str
+    result: RunResult
+    winner: bool = False
+
+
+@dataclass
+class TournamentResult:
+    """Every cell of a finished tournament, with winners marked."""
+
+    spec: TournamentSpec
+    cells: List[TournamentCell]
+
+    def groups(self) -> "Dict[Tuple[str, str], List[TournamentCell]]":
+        """Cells grouped by (pattern, sync), in matrix order."""
+        out: Dict[Tuple[str, str], List[TournamentCell]] = {}
+        for cell in self.cells:
+            out.setdefault((cell.pattern, cell.sync_style), []).append(cell)
+        return out
+
+    def winners(self) -> Dict[Tuple[str, str], str]:
+        """(pattern, sync) -> winning policy (lowest total time; ties go
+        to the earlier entrant in spec order)."""
+        return {
+            key: min(group, key=lambda c: c.result.total_time).policy
+            for key, group in self.groups().items()
+        }
+
+    def standings(self) -> List[Tuple[str, int]]:
+        """(policy, cells won), best first, in entrant order on ties."""
+        wins = {policy: 0 for policy in self.spec.policies}
+        for winner in self.winners().values():
+            wins[winner] += 1
+        order = {p: i for i, p in enumerate(self.spec.policies)}
+        return sorted(
+            wins.items(), key=lambda item: (-item[1], order[item[0]])
+        )
+
+    def beats_baseline(self, policy: str) -> Tuple[int, int]:
+        """(cells where ``policy`` beat the no-prefetch baseline, cells
+        compared) — the ISSUE's adaptive-vs-none acceptance measure."""
+        won = total = 0
+        for group in self.groups().values():
+            by_policy = {c.policy: c for c in group}
+            if policy not in by_policy or NO_PREFETCH not in by_policy:
+                continue
+            total += 1
+            if (
+                by_policy[policy].result.total_time
+                < by_policy[NO_PREFETCH].result.total_time
+            ):
+                won += 1
+        return won, total
+
+    def league_rows(self) -> List[Tuple]:
+        return [
+            league_row(
+                cell.pattern,
+                cell.sync_style,
+                cell.policy,
+                cell.result,
+                cell.winner,
+            )
+            for cell in self.cells
+        ]
+
+    def render(self) -> str:
+        """The ASCII league table."""
+        n_cells = len(self.groups())
+        return render_table(
+            LEAGUE_COLUMNS,
+            self.league_rows(),
+            title=(
+                f"policy tournament: {n_cells} cells x "
+                f"{len(self.spec.policies)} entrants "
+                f"(seed {self.spec.base.seed})"
+            ),
+        )
+
+    def to_csv(self) -> str:
+        """The league table as CSV (:data:`CSV_COLUMNS`)."""
+        out = io.StringIO()
+        out.write(",".join(CSV_COLUMNS) + "\n")
+        for cell in self.cells:
+            r = cell.result
+            summary = r.adaptive_distance_summary
+            out.write(
+                ",".join(
+                    str(v)
+                    for v in (
+                        cell.pattern,
+                        cell.sync_style,
+                        cell.policy,
+                        int(cell.winner),
+                        r.total_time,
+                        r.read_p50,
+                        r.read_p99,
+                        r.hit_ratio,
+                        r.blocks_prefetched,
+                        r.prefetch_unused_evicted,
+                        r.prefetch_unused_at_end,
+                        r.unused_prefetch_rate,
+                        summary.get("initial", ""),
+                        summary.get("final", ""),
+                    )
+                )
+                + "\n"
+            )
+        return out.getvalue()
+
+    def digest(self) -> str:
+        """Hex digest over every cell's reported numbers, in order.
+
+        Equal digests mean two tournament executions produced
+        bit-identical league tables — the CI smoke reruns the tournament
+        and compares (the run cache makes the second pass cheap).
+        """
+        from hashlib import blake2b
+
+        from ..perf.digest import canonical_json
+
+        payload = canonical_json(
+            [
+                {
+                    "pattern": cell.pattern,
+                    "sync": cell.sync_style,
+                    "policy": cell.policy,
+                    "winner": cell.winner,
+                    "total_time": cell.result.total_time,
+                    "read_p50": cell.result.read_p50,
+                    "read_p99": cell.result.read_p99,
+                    "hit_ratio": cell.result.hit_ratio,
+                    "blocks_prefetched": cell.result.blocks_prefetched,
+                    "unused_evicted": cell.result.prefetch_unused_evicted,
+                    "unused_at_end": cell.result.prefetch_unused_at_end,
+                    "trajectory": cell.result.adaptive_distance_trajectory,
+                }
+                for cell in self.cells
+            ]
+        )
+        return blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def run_tournament(
+    spec: TournamentSpec,
+    *,
+    jobs: int = 1,
+    cache=None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> TournamentResult:
+    """Race every entrant across every cell and mark the winners."""
+    from ..perf.executor import execute_runs
+
+    matrix = list(spec.cells())
+    configs = [
+        spec.config_for(pattern, sync, policy)
+        for pattern, sync in matrix
+        for policy in spec.policies
+    ]
+    if progress is not None:
+        progress(
+            f"tournament: {len(matrix)} cells x {len(spec.policies)} "
+            f"entrants = {len(configs)} runs (jobs={jobs})"
+        )
+    results = execute_runs(configs, jobs=jobs, cache=cache)
+
+    cells: List[TournamentCell] = []
+    index = 0
+    for pattern, sync in matrix:
+        for policy in spec.policies:
+            cells.append(
+                TournamentCell(
+                    pattern=pattern,
+                    sync_style=sync,
+                    policy=policy,
+                    result=results[index],
+                )
+            )
+            index += 1
+    tournament = TournamentResult(spec=spec, cells=cells)
+    winners = tournament.winners()
+    for cell in cells:
+        cell.winner = winners[(cell.pattern, cell.sync_style)] == cell.policy
+    return tournament

@@ -167,6 +167,11 @@ class BlockCache:
         #: Optional callback ``(node_id, block)`` invoked on every demand
         #: access — feeds on-the-fly predictor policies.
         self.access_observer = None
+        #: Optional callback ``(fetched_by, block)`` invoked when a
+        #: prefetched block is evicted or invalidated before its first
+        #: demand hit — the waste signal the adaptive policy's feedback
+        #: loop shrinks on.  Must be passive (no events, no randomness).
+        self.unused_prefetch_observer = None
         #: Optional :class:`~repro.faults.layer.ResilienceLayer`.  When
         #: set (fault-injection runs), block fetches are routed through
         #: its retry/timeout machinery and prefetch issuance is gated by
@@ -211,6 +216,18 @@ class BlockCache:
                 self.unused_prefetched,
             )
 
+    def _note_unused_eviction(self, buffer: Buffer) -> None:
+        """Account a prefetched block leaving the cache before its first
+        demand hit (caller is about to invalidate/abort the buffer)."""
+        if (
+            buffer.fetch_kind is RequestKind.PREFETCH
+            and buffer.read_count == 0
+            and buffer.block is not None
+        ):
+            self.metrics.record_unused_prefetch_eviction()
+            if self.unused_prefetch_observer is not None:
+                self.unused_prefetch_observer(buffer.fetched_by, buffer.block)
+
     def _evict(self, victim: Buffer) -> None:
         """Detach the victim's current block (caller holds the lock)."""
         if victim.block is not None:
@@ -218,6 +235,7 @@ class BlockCache:
             if current is victim:
                 del self.table[victim.block]
         if victim.state is not BufferState.EMPTY:
+            self._note_unused_eviction(victim)
             self._release_budget(victim)  # defensive; unused are protected
             victim.invalidate()
 
@@ -330,6 +348,7 @@ class BlockCache:
         simply empty again."""
         if buffer.block is not None and self.table.get(buffer.block) is buffer:
             del self.table[buffer.block]
+        self._note_unused_eviction(buffer)
         self._release_budget(buffer)
         event = buffer.abort_fetch()
         event.fail(error)

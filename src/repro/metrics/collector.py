@@ -59,6 +59,11 @@ class RunMetrics:
         # Fetch counters.
         self.blocks_demand_fetched = 0
         self.blocks_prefetched = 0
+        #: Prefetched blocks evicted or invalidated before their first
+        #: demand hit (wasted prefetches that left the cache mid-run;
+        #: blocks still unused when the run ends are counted separately
+        #: by the runner from the cache's live budget).
+        self.prefetch_unused_evictions = 0
 
         # Prefetch actions.
         self.prefetch_action_times = Tally("prefetch_action")
@@ -110,6 +115,10 @@ class RunMetrics:
 
     def record_prefetch_issued(self) -> None:
         self.blocks_prefetched += 1
+
+    def record_unused_prefetch_eviction(self) -> None:
+        """One prefetched block left the cache without a demand hit."""
+        self.prefetch_unused_evictions += 1
 
     def record_prefetch_action(
         self, duration: float, outcome: str

@@ -17,6 +17,8 @@ __all__ = [
     "PAIRED_MEASURES",
     "FAULT_MEASURES",
     "ATTRIBUTION_COLUMNS",
+    "LEAGUE_COLUMNS",
+    "league_row",
     "paired_measure_rows",
     "fault_measure_rows",
     "attribution_rows",
@@ -49,6 +51,9 @@ PAIRED_MEASURES: Tuple[Tuple[str, str], ...] = (
     ("blocks prefetched", "blocks_prefetched"),
     ("blocks demand fetched", "blocks_demand_fetched"),
     ("prefetch action mean (ms)", "prefetch_action_mean"),
+    ("prefetched-unused evictions", "prefetch_unused_evicted"),
+    ("prefetched-unused at run end", "prefetch_unused_at_end"),
+    ("unused-prefetch rate", "unused_prefetch_rate"),
 )
 
 
@@ -61,6 +66,50 @@ FAULT_MEASURES: Tuple[Tuple[str, str], ...] = (
     ("breaker opens", "breaker_opens"),
     ("time degraded (ms)", "time_degraded"),
 )
+
+
+#: Column headings of the policy-tournament league table
+#: (``rapid-transit tournament``): one row per (pattern, sync, policy)
+#: cell, winners marked in the last column.
+LEAGUE_COLUMNS: Tuple[str, ...] = (
+    "pattern",
+    "sync",
+    "policy",
+    "total time (ms)",
+    "read p50 (ms)",
+    "read p99 (ms)",
+    "hit ratio",
+    "unused rate",
+    "distance",
+    "win",
+)
+
+
+def league_row(
+    pattern: str,
+    sync_style: str,
+    policy: str,
+    result: "RunResult",
+    winner: bool,
+) -> Tuple:
+    """One league-table row for :data:`LEAGUE_COLUMNS`."""
+    summary = result.adaptive_distance_summary
+    if summary:
+        distance = f"{summary['initial']:.0f}->{summary['final']:.1f}"
+    else:
+        distance = "-"
+    return (
+        pattern,
+        sync_style,
+        policy,
+        result.total_time,
+        result.read_p50,
+        result.read_p99,
+        result.hit_ratio,
+        result.unused_prefetch_rate,
+        distance,
+        "*" if winner else "",
+    )
 
 
 #: Column headings of the per-node bottleneck-attribution table

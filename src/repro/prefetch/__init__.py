@@ -7,10 +7,16 @@
 * :mod:`~repro.prefetch.daemon` — the per-node idle-time prefetcher with
   overrun semantics and the Section V-D minimum-prefetch-time throttle;
 * :mod:`~repro.prefetch.predictors` — on-the-fly predictors (OBL, portion
-  detection, global sequential detection): the paper's future work.
+  detection, global sequential detection): the paper's future work;
+* :mod:`~repro.prefetch.adaptive` — history-only classification with a
+  feedback-controlled readahead distance (see docs/adaptive.md);
+* :mod:`~repro.prefetch.factory` — the config-aware policy registry
+  every driver (run, trace replay, tournament) builds policies through.
 """
 
+from .adaptive import AdaptiveConfig, AdaptivePolicy
 from .daemon import DaemonConfig, PrefetchDaemon
+from .factory import build_policy, policy_choices, register_policy_builder
 from .lead import earliest_candidate_index, effective_lead
 from .oracle import OraclePolicy
 from .policy import (
@@ -28,6 +34,11 @@ from .predictors import (
 )
 
 __all__ = [
+    "AdaptiveConfig",
+    "AdaptivePolicy",
+    "build_policy",
+    "policy_choices",
+    "register_policy_builder",
     "PrefetchPolicy",
     "NullPolicy",
     "OraclePolicy",

@@ -1,0 +1,49 @@
+"""Adaptive prefetching: history-only classification + feedback control.
+
+The paper's prefetchers are oracles — they consult the full reference
+string, which no real file system has.  This package is the repo's first
+genuinely-new science beyond the 1989 study (ROADMAP item 1): it
+prefetches from *observed* accesses only, with a feedback-controlled
+readahead distance in the style of Dimitsas & Silberstein's GPU
+file-system prefetcher (arXiv:2109.05366).
+
+* :mod:`~repro.prefetch.adaptive.classifier` — per-node run/stride
+  detection and merged-stream density detection;
+* :mod:`~repro.prefetch.adaptive.feedback` — the AIMD distance/degree
+  controller and its signal vocabulary;
+* :mod:`~repro.prefetch.adaptive.policy` — :class:`AdaptivePolicy`,
+  wiring both into the daemon's peek/commit contract.
+
+See docs/adaptive.md for the feedback-loop diagram and knob reference.
+"""
+
+from .classifier import (
+    KIND_RANDOM,
+    KIND_SEQUENTIAL,
+    KIND_STRIDED,
+    AccessClassifier,
+    Classification,
+    GlobalStreamClassifier,
+)
+from .feedback import (
+    GROW_SIGNALS,
+    SHRINK_SIGNALS,
+    FeedbackConfig,
+    FeedbackController,
+)
+from .policy import AdaptiveConfig, AdaptivePolicy
+
+__all__ = [
+    "AccessClassifier",
+    "AdaptiveConfig",
+    "AdaptivePolicy",
+    "Classification",
+    "FeedbackConfig",
+    "FeedbackController",
+    "GlobalStreamClassifier",
+    "GROW_SIGNALS",
+    "KIND_RANDOM",
+    "KIND_SEQUENTIAL",
+    "KIND_STRIDED",
+    "SHRINK_SIGNALS",
+]

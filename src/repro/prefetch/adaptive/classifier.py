@@ -1,0 +1,283 @@
+"""Online access-pattern classification from observed history only.
+
+The adaptive prefetcher (unlike the paper's oracles) may look at nothing
+but the demand accesses that have already happened.  Two small detectors
+provide its predictions:
+
+* :class:`AccessClassifier` — a per-stream run/stride detector.  It keeps
+  the delta between successive accesses; a run of ``min_run`` accesses
+  with one consistent delta classifies the stream as ``sequential``
+  (delta 1) or ``strided`` (any other small delta), and prediction
+  extrapolates that delta.  Anything else is ``random``: no prediction.
+  Fed per node, this recognizes the paper's *local* patterns — lw is one
+  unbroken sequential run; lfp/lrp are sequential runs within each
+  portion.  Completed sequential runs are remembered: once two or more
+  have been seen, predictions stop at the estimated end of the current
+  run (blocks in the inter-portion gap are never demanded, and wasted
+  prefetches clog the shared unused-prefetch budget), and when the
+  run-start stride is regular (lfp/gfp geometry) prediction continues
+  into the predicted next portion instead.
+
+* :class:`GlobalStreamClassifier` — a merged-stream detector for the
+  *global* patterns, where each node's observed subsequence is irregular
+  (self-scheduling interleaves the shared string across nodes) but the
+  union is dense and forward-moving.  It tracks the high-water mark and
+  the density of distinct blocks below it; a dense stream is classified
+  sequential and prediction leads the frontier, exactly where the merged
+  stream is heading next.
+
+Both classifiers are passive bookkeeping over simulation-delivered
+values: no randomness, no wall clock, no event scheduling — they cannot
+perturb the event stream they learn from.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from statistics import median
+from typing import Deque, List, Optional
+
+__all__ = [
+    "KIND_SEQUENTIAL",
+    "KIND_STRIDED",
+    "KIND_RANDOM",
+    "Classification",
+    "AccessClassifier",
+    "GlobalStreamClassifier",
+]
+
+KIND_SEQUENTIAL = "sequential"
+KIND_STRIDED = "strided"
+KIND_RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """What one stream currently looks like.
+
+    ``stride`` is the learned inter-access delta (1 for sequential, 0
+    when random); ``run_length`` counts the accesses in the current
+    consistent-stride run, including both endpoints.
+    """
+
+    kind: str
+    stride: int
+    run_length: int
+
+
+class AccessClassifier:
+    """Run/stride detector over one observed access stream.
+
+    Parameters
+    ----------
+    min_run:
+        Accesses with a consistent stride required before the stream is
+        classified (and predictions issued).  Two accesses establish a
+        candidate stride; the default demands one confirmation on top.
+    max_stride:
+        Largest |stride| treated as a pattern; larger jumps are portion
+        boundaries or noise and reset the run.
+    history:
+        Recent blocks retained for introspection/testing.
+    """
+
+    def __init__(
+        self,
+        min_run: int = 3,
+        max_stride: int = 64,
+        history: int = 16,
+    ) -> None:
+        if min_run < 2:
+            raise ValueError("min_run must be >= 2")
+        if max_stride < 1:
+            raise ValueError("max_stride must be >= 1")
+        self.min_run = min_run
+        self.max_stride = max_stride
+        self._recent: Deque[int] = deque(maxlen=history)
+        self._last: Optional[int] = None
+        self._stride = 0
+        self._run = 1
+        # Portion-boundary learning: where the current consistent-stride
+        # run began, and the lengths/starts of completed sequential runs.
+        self._run_start: Optional[int] = None
+        self._lengths: Deque[int] = deque(maxlen=8)
+        self._starts: Deque[int] = deque(maxlen=8)
+
+    @property
+    def recent(self) -> List[int]:
+        """The retained tail of the observed stream (oldest first)."""
+        return list(self._recent)
+
+    def observe(self, block: int) -> None:
+        """Fold one demand access into the detector."""
+        self._recent.append(block)
+        last = self._last
+        self._last = block
+        if last is None:
+            self._run_start = block
+            return
+        delta = block - last
+        if delta == 0:
+            # A cached re-read: neither confirms nor breaks the run.
+            return
+        if delta == self._stride:
+            self._run += 1
+        else:
+            # The run broke.  Book a completed sequential run (a portion
+            # interior) before starting over on the new candidate stride.
+            if (
+                self._stride == 1
+                and self._run >= self.min_run
+                and self._run_start is not None
+            ):
+                self._lengths.append(last - self._run_start + 1)
+                self._starts.append(self._run_start)
+            # New candidate stride; the two latest accesses define it.
+            self._stride = delta
+            self._run = 2
+            self._run_start = last
+
+    def classify(self) -> Classification:
+        """The stream's current classification."""
+        if (
+            self._run >= self.min_run
+            and self._stride != 0
+            and abs(self._stride) <= self.max_stride
+        ):
+            kind = KIND_SEQUENTIAL if self._stride == 1 else KIND_STRIDED
+            return Classification(
+                kind=kind, stride=self._stride, run_length=self._run
+            )
+        return Classification(kind=KIND_RANDOM, stride=0, run_length=self._run)
+
+    def expected_run_length(self) -> Optional[int]:
+        """Estimated blocks per sequential run (portion length), from the
+        median of completed runs; None before two runs have completed."""
+        if len(self._lengths) < 2:
+            return None
+        return int(median(self._lengths))
+
+    def start_stride(self) -> Optional[int]:
+        """Learned start-to-start portion stride, when the last three
+        run starts (including the in-progress run's) were evenly spaced
+        forward; None otherwise."""
+        starts = list(self._starts)
+        if (
+            self._stride == 1
+            and self._run >= self.min_run
+            and self._run_start is not None
+        ):
+            starts.append(self._run_start)
+        if len(starts) < 3:
+            return None
+        starts = starts[-3:]
+        diffs = [b - a for a, b in zip(starts, starts[1:])]
+        if len(set(diffs)) == 1 and diffs[0] > 0:
+            return diffs[0]
+        return None
+
+    def predict(self, count: int, file_blocks: int) -> List[int]:
+        """The next ``count`` blocks the stream is expected to demand.
+
+        Empty when the stream is classified random (no extrapolation
+        basis) or the last access is unknown.  Candidates falling outside
+        ``[0, file_blocks)`` are dropped — a run that extrapolates past
+        either end of the file simply has fewer candidates.
+
+        Sequential streams with a learned portion geometry are not
+        extrapolated blindly: prediction stops at the estimated end of
+        the current run, continuing at the predicted start of the next
+        portion when the run-start stride is regular.
+        """
+        cls = self.classify()
+        if cls.kind == KIND_RANDOM or self._last is None:
+            return []
+        expected = (
+            self.expected_run_length() if cls.stride == 1 else None
+        )
+        if expected is None or self._run_start is None:
+            out: List[int] = []
+            for k in range(1, count + 1):
+                candidate = self._last + cls.stride * k
+                if 0 <= candidate < file_blocks:
+                    out.append(candidate)
+                else:
+                    break
+            return out
+        # Boundary-aware extrapolation within learned portions.
+        jump = self.start_stride()
+        portion_start = self._run_start
+        cursor = self._last
+        out = []
+        while len(out) < count:
+            cursor += 1
+            if cursor > portion_start + expected - 1:
+                if jump is None:
+                    break
+                portion_start += jump
+                cursor = portion_start
+            if not 0 <= cursor < file_blocks:
+                break
+            out.append(cursor)
+        return out
+
+
+class GlobalStreamClassifier:
+    """Density detector over the merged (all-nodes) access stream.
+
+    A globally-shared sequential string consumed self-scheduled looks
+    locally irregular on every node but globally dense: almost every
+    block at or below the high-water mark has been demanded by someone.
+    When the density ``distinct / (high + 1)`` exceeds
+    ``density_threshold`` (after ``warmup`` distinct blocks), the merged
+    stream is deemed sequential and prediction leads the frontier.
+    """
+
+    def __init__(
+        self,
+        file_blocks: int,
+        density_threshold: float = 0.6,
+        warmup: int = 8,
+    ) -> None:
+        if file_blocks <= 0:
+            raise ValueError("file_blocks must be positive")
+        if not 0 < density_threshold <= 1:
+            raise ValueError("density_threshold must be in (0, 1]")
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        self.file_blocks = file_blocks
+        self.density_threshold = density_threshold
+        self.warmup = warmup
+        # Membership/size bookkeeping only — never iterated.
+        self._seen: set[int] = set()
+        self._high = -1
+
+    @property
+    def frontier(self) -> int:
+        """Highest block demanded so far (-1 before any access)."""
+        return self._high
+
+    def observe(self, block: int) -> None:
+        self._seen.add(block)
+        if block > self._high:
+            self._high = block
+
+    def sequential(self) -> bool:
+        """Is the merged stream densely forward-moving?"""
+        if len(self._seen) < self.warmup or self._high < 0:
+            return False
+        return len(self._seen) / (self._high + 1) >= self.density_threshold
+
+    def predict(self, count: int) -> List[int]:
+        """The next ``count`` blocks past the global frontier (empty when
+        the merged stream is not classified sequential)."""
+        if not self.sequential():
+            return []
+        out: List[int] = []
+        for k in range(1, count + 1):
+            candidate = self._high + k
+            if candidate >= self.file_blocks:
+                break
+            out.append(candidate)
+        return out

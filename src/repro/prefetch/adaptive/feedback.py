@@ -1,0 +1,142 @@
+"""Feedback control of the prefetch distance and degree.
+
+The controller answers *how far ahead* (distance: how many predicted
+blocks beyond the consumption frontier may be proposed) and *how many at
+once* (degree: how many of this scope's prefetches may sit unconsumed in
+flight).  Both follow the classic AIMD shape, driven entirely by signals
+the simulator already produces:
+
+grow (additive, ``grow_step`` per signal)
+    * ``demand_stall`` — the consumer demanded a block that was absent
+      from the cache (it is about to stall on disk I/O: prefetching was
+      behind);
+    * ``prefetch_hit`` — a block this policy prefetched reached its
+      consumer (the prediction was right: lead further).
+
+shrink (multiplicative, ``shrink_factor`` per signal)
+    * ``unused_eviction`` — a prefetched block was evicted or
+      invalidated before first use (pure waste, from the cache's
+      unused-prefetch accounting);
+    * ``daemon_theft`` — an idle period whose overrun exceeded
+      ``overrun_tolerance`` (a prefetch action stole CPU from the
+      resuming user process, from the node's idle-period records — the
+      same substrate the obs bottleneck attribution reads);
+    * ``budget_pressure`` — a prefetch action aborted on
+      ``budget_full``/``no_buffer`` (the shared unused-prefetch budget
+      or buffer pool is saturated; backing off frees it for nodes whose
+      predictions are being consumed);
+    * ``write_off`` — a committed prefetch sat unconsumed past the
+      write-off age and its in-flight slot was reclaimed (the block was
+      probably mispredicted: nobody is coming for it).
+
+The controller is pure arithmetic on simulation-delivered signals: no
+randomness, no wall clock — identical runs see identical signal
+sequences and therefore identical distance trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+__all__ = ["FeedbackConfig", "FeedbackController", "GROW_SIGNALS", "SHRINK_SIGNALS"]
+
+GROW_SIGNALS = ("demand_stall", "prefetch_hit")
+SHRINK_SIGNALS = (
+    "unused_eviction",
+    "daemon_theft",
+    "budget_pressure",
+    "write_off",
+)
+
+
+@dataclass(frozen=True)
+class FeedbackConfig:
+    """Bounds and gains of the readahead feedback loop."""
+
+    #: Starting prefetch distance (blocks beyond the frontier).
+    initial_distance: int = 2
+    #: The distance never shrinks below this (1 keeps OBL-like behaviour
+    #: as the floor: adaptivity may throttle, never disable).
+    min_distance: int = 1
+    #: The distance never grows beyond this.
+    max_distance: int = 12
+    #: Additive increase per grow signal.
+    grow_step: float = 1.0
+    #: Multiplicative decrease per shrink signal (in (0, 1)).
+    shrink_factor: float = 0.7
+    #: Idle-period overrun (ms) tolerated before it counts as theft
+    #: (default: a small fraction of the 30 ms block-transfer time, so
+    #: only overruns that meaningfully delay the resuming process count).
+    overrun_tolerance: float = 3.0
+    #: Hard cap on the degree (concurrent unconsumed prefetches per
+    #: scope) regardless of distance.
+    degree_cap: int = 6
+
+    def __post_init__(self) -> None:
+        if self.min_distance < 1:
+            raise ValueError("min_distance must be >= 1")
+        if not (
+            self.min_distance <= self.initial_distance <= self.max_distance
+        ):
+            raise ValueError(
+                "need min_distance <= initial_distance <= max_distance"
+            )
+        if self.grow_step <= 0:
+            raise ValueError("grow_step must be positive")
+        if not 0 < self.shrink_factor < 1:
+            raise ValueError("shrink_factor must be in (0, 1)")
+        if self.overrun_tolerance < 0:
+            raise ValueError("overrun_tolerance must be non-negative")
+        if self.degree_cap < 1:
+            raise ValueError("degree_cap must be >= 1")
+
+
+class FeedbackController:
+    """One AIMD-controlled readahead window (per node, or global).
+
+    ``on_change`` is invoked (with no arguments) whenever the *integer*
+    distance changes — the policy uses it to record the distance
+    trajectory against simulation time.
+    """
+
+    def __init__(
+        self,
+        config: FeedbackConfig = FeedbackConfig(),
+        on_change: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.config = config
+        self._on_change = on_change
+        self._value = float(config.initial_distance)
+        #: Signal counts by reason, for reporting.
+        self.signals: Dict[str, int] = {}
+
+    @property
+    def distance(self) -> int:
+        """Current readahead distance in blocks (integer, clamped)."""
+        return int(self._value + 0.5)
+
+    @property
+    def degree(self) -> int:
+        """Concurrent unconsumed prefetches allowed for this scope."""
+        return min(self.config.degree_cap, max(1, (self.distance + 1) // 2))
+
+    def grow(self, reason: str) -> None:
+        """Additive increase (a stall or a confirmed prediction)."""
+        self._apply(
+            reason, min(self.config.max_distance, self._value + self.config.grow_step)
+        )
+
+    def shrink(self, reason: str) -> None:
+        """Multiplicative decrease (waste, theft, or budget pressure)."""
+        self._apply(
+            reason,
+            max(self.config.min_distance, self._value * self.config.shrink_factor),
+        )
+
+    def _apply(self, reason: str, new_value: float) -> None:
+        self.signals[reason] = self.signals.get(reason, 0) + 1
+        before = self.distance
+        self._value = new_value
+        if self.distance != before and self._on_change is not None:
+            self._on_change()

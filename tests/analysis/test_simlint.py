@@ -247,6 +247,20 @@ def test_perf_package_is_sim_critical(tmp_path):
     assert "wallclock" in _rules(findings)
 
 
+def test_adaptive_package_is_sim_critical(tmp_path):
+    # The adaptive prefetch subsystem is registered sim-critical both via
+    # its parent ("prefetch") and by its own name, so the determinism
+    # rules follow it even if it is ever relocated.
+    source = "def f(q):\n    return q.pop(0)\n"
+    assert _lint_snippet(tmp_path, source, rel="repro/adaptive/a.py") != []
+    assert (
+        _lint_snippet(
+            tmp_path, source, rel="repro/prefetch/adaptive/a.py"
+        )
+        != []
+    )
+
+
 # -------------------------------------------------------- driver behaviour
 
 

@@ -1,0 +1,153 @@
+"""Tests for the policy tournament driver."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    TournamentSpec,
+    run_tournament,
+)
+from repro.experiments.tournament import CSV_COLUMNS, NO_PREFETCH
+
+SMALL = ExperimentConfig(n_nodes=4, n_disks=4, file_blocks=200, total_reads=200)
+
+
+def small_spec(**kwargs):
+    kwargs.setdefault("patterns", ("lw",))
+    kwargs.setdefault("policies", (NO_PREFETCH, "oracle", "adaptive"))
+    kwargs.setdefault("base", SMALL)
+    return TournamentSpec(**kwargs)
+
+
+# ------------------------------------------------------------------- spec
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        TournamentSpec(patterns=())
+    with pytest.raises(ValueError):
+        TournamentSpec(sync_styles=())
+    with pytest.raises(ValueError):
+        TournamentSpec(policies=("oracle",))
+    with pytest.raises(ValueError):
+        TournamentSpec(patterns=("nope",))
+    with pytest.raises(ValueError):
+        TournamentSpec(sync_styles=("nope",))
+    with pytest.raises(ValueError):
+        TournamentSpec(policies=("none", "nope"))
+    with pytest.raises(ValueError):
+        TournamentSpec(policies=("none", "oracle", "oracle"))
+
+
+def test_spec_skips_lw_portion_cell():
+    spec = TournamentSpec(
+        patterns=("lw", "gw"), sync_styles=("none", "portion")
+    )
+    cells = list(spec.cells())
+    assert ("lw", "portion") not in cells
+    assert ("lw", "none") in cells
+    assert ("gw", "portion") in cells
+
+
+def test_spec_config_for_none_disables_prefetch():
+    spec = small_spec()
+    config = spec.config_for("lw", "none", NO_PREFETCH)
+    assert not config.prefetch
+    config = spec.config_for("lw", "none", "adaptive")
+    assert config.prefetch and config.policy == "adaptive"
+    # Base sizing carries over.
+    assert config.n_nodes == 4 and config.file_blocks == 200
+
+
+# ------------------------------------------------------------------ smoke
+
+
+@pytest.fixture(scope="module")
+def small_tournament():
+    return run_tournament(small_spec())
+
+
+def test_tournament_runs_every_entrant(small_tournament):
+    assert len(small_tournament.cells) == 3
+    assert [c.policy for c in small_tournament.cells] == [
+        NO_PREFETCH,
+        "oracle",
+        "adaptive",
+    ]
+
+
+def test_tournament_marks_exactly_one_winner_per_cell(small_tournament):
+    winners = [c for c in small_tournament.cells if c.winner]
+    assert len(winners) == 1
+    best = min(
+        small_tournament.cells, key=lambda c: c.result.total_time
+    )
+    assert winners[0] is best
+
+
+def test_prefetching_beats_no_prefetch_on_sequential(small_tournament):
+    by_policy = {c.policy: c.result for c in small_tournament.cells}
+    # On a purely sequential pattern both the oracle and the adaptive
+    # policy must beat the no-prefetch baseline.
+    assert by_policy["oracle"].total_time < by_policy["none"].total_time
+    assert by_policy["adaptive"].total_time < by_policy["none"].total_time
+
+
+def test_adaptive_reports_distance_trajectory(small_tournament):
+    adaptive = next(
+        c for c in small_tournament.cells if c.policy == "adaptive"
+    )
+    assert adaptive.result.adaptive_distance_summary
+    assert adaptive.result.adaptive_distance_trajectory
+    oracle = next(
+        c for c in small_tournament.cells if c.policy == "oracle"
+    )
+    assert not oracle.result.adaptive_distance_summary
+
+
+def test_standings_and_beats_baseline(small_tournament):
+    standings = small_tournament.standings()
+    assert sorted(p for p, _ in standings) == ["adaptive", "none", "oracle"]
+    assert sum(w for _, w in standings) == 1  # one cell
+    won, total = small_tournament.beats_baseline("adaptive")
+    assert (won, total) == (1, 1)
+
+
+def test_render_and_csv(small_tournament):
+    table = small_tournament.render()
+    assert "policy tournament" in table
+    assert "adaptive" in table
+    csv = small_tournament.to_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0] == ",".join(CSV_COLUMNS)
+    assert len(lines) == 1 + len(small_tournament.cells)
+
+
+def test_digest_is_stable_across_reruns(small_tournament):
+    again = run_tournament(small_spec())
+    assert small_tournament.digest() == again.digest()
+
+
+def test_digest_distinguishes_specs(small_tournament):
+    other = run_tournament(
+        small_spec(base=SMALL.with_overrides(seed=2))
+    )
+    assert small_tournament.digest() != other.digest()
+
+
+def test_tournament_through_executor_cache(tmp_path, small_tournament):
+    from repro.perf.cache import RunCache
+
+    cache = RunCache(tmp_path / "runs")
+    first = run_tournament(small_spec(), cache=cache)
+    second = run_tournament(small_spec(), cache=cache)
+    assert first.digest() == second.digest() == small_tournament.digest()
+
+
+def test_progress_callback():
+    messages = []
+    run_tournament(
+        small_spec(policies=(NO_PREFETCH, "adaptive")),
+        progress=messages.append,
+    )
+    assert messages and "cells" in messages[0]

@@ -1,0 +1,117 @@
+"""Tests for the unused-prefetch accounting (counter + passive observer)."""
+
+from repro.fs.buffer import BufferState, RequestKind
+from repro.prefetch import OraclePolicy
+from repro.sim.rng import RandomStreams
+from repro.workload.patterns import make_pattern
+from repro.workload.progress import ProgressTracker
+
+from ..helpers import build_stack, user_read
+
+
+def _oracle_for(cache, n_nodes=2, file_blocks=100):
+    pattern = make_pattern(
+        "gw",
+        n_nodes=n_nodes,
+        file_blocks=file_blocks,
+        total_reads=file_blocks,
+        rng=RandomStreams(1),
+    )
+    tracker = ProgressTracker(pattern, n_nodes)
+    policy = OraclePolicy(pattern, tracker)
+    policy.bind(cache)
+    return policy
+
+
+def _prefetch_one(env, machine, cache, policy):
+    def daemon_once():
+        cpu = yield from machine.nodes[0].acquire_cpu()
+        yield from cache.prefetch_action(0, policy)
+        machine.nodes[0].release_cpu(cpu)
+
+    env.process(daemon_once())
+    env.run()
+
+
+def test_fetch_failed_counts_unused_prefetch():
+    env, machine, file, cache, server, metrics = build_stack()
+    policy = _oracle_for(cache)
+    events = []
+    cache.unused_prefetch_observer = lambda node, block: events.append(
+        (node, block)
+    )
+    _prefetch_one(env, machine, cache, policy)
+    buf = cache.buffer_for(0)
+    assert buf is not None and buf.read_count == 0
+
+    # Re-enter the fetching state and fail it (the fault path).
+    cache._evict(buf)
+    assert metrics.prefetch_unused_evictions == 1
+    assert events == [(0, 0)]
+
+
+def test_fetch_failed_mid_flight_prefetch():
+    env, machine, file, cache, server, metrics = build_stack()
+    events = []
+    cache.unused_prefetch_observer = lambda node, block: events.append(
+        (node, block)
+    )
+
+    def scenario():
+        buf = cache.prefetch_sets[0][0]
+        buf.start_fetch(7, RequestKind.PREFETCH, 0)
+        cache.table[7] = buf
+        cache.unused_prefetched += 1
+        cache._budget_holders.add(buf.index)
+        assert buf.state is BufferState.FETCHING
+        cache.fetch_failed(buf, RuntimeError("disk died"))
+        yield env.timeout(0)
+
+    env.process(scenario())
+    env.run()
+    assert metrics.prefetch_unused_evictions == 1
+    assert events == [(0, 7)]
+    assert cache.unused_prefetched == 0  # budget returned
+
+
+def test_consumed_prefetch_is_not_counted():
+    env, machine, file, cache, server, metrics = build_stack()
+    policy = _oracle_for(cache)
+
+    def scenario():
+        cpu = yield from machine.nodes[0].acquire_cpu()
+        yield from cache.prefetch_action(0, policy)
+        machine.nodes[0].release_cpu(cpu)
+        yield env.timeout(60.0)  # let the I/O complete
+        yield env.process(user_read(server, machine.nodes[1], 0))
+
+    env.process(scenario())
+    env.run()
+    buf = cache.buffer_for(0)
+    assert buf is not None and buf.read_count > 0
+    cache._evict(buf)
+    assert metrics.prefetch_unused_evictions == 0
+
+
+def test_demand_fetch_failure_is_not_counted():
+    env, machine, file, cache, server, metrics = build_stack()
+
+    def scenario():
+        buf = cache.demand_rusets[0][0]
+        buf.start_fetch(7, RequestKind.DEMAND, 0)
+        cache.table[7] = buf
+        cache.fetch_failed(buf, RuntimeError("disk died"))
+        yield env.timeout(0)
+
+    env.process(scenario())
+    env.run()
+    assert metrics.prefetch_unused_evictions == 0
+
+
+def test_observer_is_optional():
+    env, machine, file, cache, server, metrics = build_stack()
+    policy = _oracle_for(cache)
+    assert cache.unused_prefetch_observer is None
+    _prefetch_one(env, machine, cache, policy)
+    cache._evict(cache.buffer_for(0))  # no observer: counter only
+    assert metrics.prefetch_unused_evictions == 1

@@ -36,6 +36,24 @@ def test_round_trip_preserves_every_measure(tmp_path):
     assert all(isinstance(k, int) for k in got.errors_by_disk)
 
 
+def test_round_trip_preserves_adaptive_measures(tmp_path):
+    config = _config(policy="adaptive")
+    result = run_experiment(config)
+    assert result.adaptive_distance_summary  # adaptive populated them
+    cache = RunCache(tmp_path)
+    cache.put(config, result)
+    got = cache.get(config)
+    assert got is not None
+    assert got.adaptive_distance_summary == result.adaptive_distance_summary
+    assert (
+        got.adaptive_distance_trajectory
+        == result.adaptive_distance_trajectory
+    )
+    assert got.prefetch_unused_evicted == result.prefetch_unused_evicted
+    assert got.prefetch_unused_at_end == result.prefetch_unused_at_end
+    assert got.unused_prefetch_rate == result.unused_prefetch_rate
+
+
 def test_counters_and_summary(tmp_path):
     config = _config()
     cache = RunCache(tmp_path)

@@ -34,6 +34,63 @@ def test_run_command_rejects_bad_pattern():
         main(["run", "--pattern", "zigzag"])
 
 
+def test_run_accepts_every_registered_policy():
+    from repro.prefetch.factory import policy_choices
+
+    parser = build_parser()
+    for policy in policy_choices():
+        args = parser.parse_args(["run", "--policy", policy])
+        assert args.policy == policy
+
+
+_TOURNAMENT_SMALL = [
+    "--nodes", "4", "--disks", "4", "--file-blocks", "200",
+    "--reads", "200",
+]
+
+
+def test_tournament_command(tmp_path, capsys):
+    csv_path = tmp_path / "league.csv"
+    digest_path = tmp_path / "digest.txt"
+    rc = main([
+        "tournament", "--patterns", "lw", "--policies", "none", "adaptive",
+        "--csv", str(csv_path), "--digest-out", str(digest_path),
+        *_TOURNAMENT_SMALL,
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "policy tournament" in out
+    assert "standings (cells won):" in out
+    assert "adaptive beat no-prefetch in 1/1 cells" in out
+    assert csv_path.read_text().startswith("pattern,sync,policy,")
+    digest = digest_path.read_text().strip()
+    assert len(digest) == 32
+    assert f"tournament digest: {digest}" in out
+
+
+def test_tournament_digest_check(tmp_path, capsys):
+    digest_path = tmp_path / "digest.txt"
+    argv = [
+        "tournament", "--patterns", "lw", "--policies", "none", "adaptive",
+        *_TOURNAMENT_SMALL,
+    ]
+    assert main([*argv, "--digest-out", str(digest_path)]) == 0
+    capsys.readouterr()
+    assert main([*argv, "--check-digest", str(digest_path)]) == 0
+    assert "digest check: PASS" in capsys.readouterr().out
+    digest_path.write_text("0" * 32 + "\n")
+    assert main([*argv, "--check-digest", str(digest_path)]) == 1
+
+
+def test_tournament_rejects_unknown_entrant(capsys):
+    rc = main([
+        "tournament", "--patterns", "lw", "--policies", "none", "zigzag",
+        *_TOURNAMENT_SMALL,
+    ])
+    assert rc == 2
+    assert "unknown entrant" in capsys.readouterr().err
+
+
 def test_analyze_command(tmp_path, capsys):
     # Produce a trace with a tiny run, save it, analyze it.
     from repro.experiments import ExperimentConfig, run_experiment
