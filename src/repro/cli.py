@@ -205,6 +205,24 @@ def _load_faults(args: argparse.Namespace) -> Optional["FaultPlan"]:
     return FaultPlan.load(path)
 
 
+def _load_fault_plans(
+    entries: Optional[List[str]],
+) -> Optional[tuple]:
+    """Parse ``--fault-plans`` entries: ``none`` → healthy cell, anything
+    else is a fault-plan JSON path.  Returns None when the flag is absent
+    so the spec's default (a single healthy column, or the lifted
+    ``--faults`` plan) applies."""
+    if not entries:
+        return None
+    plans = []
+    for entry in entries:
+        if entry == "none":
+            plans.append(None)
+        else:
+            plans.append(FaultPlan.load(entry))
+    return tuple(plans)
+
+
 def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
     """The shared performance flags: worker fan-out and run caching."""
     parser.add_argument(
@@ -342,6 +360,10 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
     )
 
     try:
+        spec_kwargs = {}
+        fault_plans = _load_fault_plans(args.fault_plans)
+        if fault_plans is not None:
+            spec_kwargs["fault_plans"] = fault_plans
         spec = TournamentSpec(
             patterns=tuple(args.patterns),
             sync_styles=tuple(args.sync),
@@ -355,6 +377,7 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
                 total_reads=args.reads,
                 faults=_load_faults(args),
             ),
+            **spec_kwargs,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -398,6 +421,79 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
             return 1
         print("digest check: PASS")
     return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from .experiments.soak import SoakSpec, run_soak
+
+    try:
+        spec = SoakSpec(
+            n_plans=args.plans,
+            seed=args.seed,
+            pattern=args.pattern,
+            sync_style=args.sync,
+            policy=args.policy,
+            base=ExperimentConfig(
+                compute_mean=args.compute,
+                seed=args.seed,
+                n_nodes=args.nodes,
+                n_disks=args.disks,
+                file_blocks=args.file_blocks,
+                total_reads=args.reads,
+                record_trace=False,
+            ),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.save_plans:
+        import os
+
+        os.makedirs(args.save_plans, exist_ok=True)
+        for index, plan in enumerate(spec.plans()):
+            path = os.path.join(args.save_plans, f"soak-{index}.json")
+            plan.save(path)
+            print(f"wrote {path} ({plan.digest})", file=sys.stderr)
+
+    report = run_soak(
+        spec, progress=lambda msg: print(msg, file=sys.stderr)
+    )
+    print(report.render())
+    print()
+    for cell in report.cells:
+        if cell.error:
+            print(f"plan {cell.index} crashed: {cell.error}")
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(report.to_csv())
+        print(f"wrote {args.csv}", file=sys.stderr)
+
+    digest = report.digest()
+    print(f"soak digest: {digest}")
+    if args.digest_out:
+        with open(args.digest_out, "w") as fh:
+            fh.write(digest + "\n")
+    ok = report.passed
+    if not ok:
+        for index, name in report.failures():
+            print(f"invariant FAILED: plan {index}: {name}")
+    print(
+        f"invariant sweep ({len(report.cells)} plans x "
+        f"{len(report.cells[0].invariants)} invariants):",
+        "PASS" if ok else "FAIL",
+    )
+    if args.check_digest:
+        with open(args.check_digest) as fh:
+            expected = fh.read().strip()
+        if digest != expected:
+            print(
+                f"digest mismatch: expected {expected}, got {digest}",
+                file=sys.stderr,
+            )
+            return 1
+        print("digest check: PASS")
+    return 0 if ok else 1
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -1045,6 +1141,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="PLAN.json",
         help="race every entrant under this fault plan",
     )
+    p_tour.add_argument(
+        "--fault-plans", nargs="+", default=None, metavar="PLAN",
+        help="third matrix axis: each entry is 'none' (healthy) or a "
+        "fault-plan JSON path; every (pattern, sync) cell is raced once "
+        "per plan and faulted cells report degraded-mode measures plus "
+        "a resilience score against their healthy counterpart "
+        "(supersedes --faults)",
+    )
     p_tour.add_argument("--csv", default=None, metavar="FILE",
                         help="also write the league table as CSV")
     p_tour.add_argument(
@@ -1057,6 +1161,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_perf_flags(p_tour)
     p_tour.set_defaults(func=_cmd_tournament)
+
+    p_soak = sub.add_parser(
+        "soak",
+        help="seeded chaos soak: generate blessed fault plans and assert "
+        "run-level invariants (no hang, no lost request, breaker "
+        "recovery, bit-identical reruns) on every cell",
+    )
+    p_soak.add_argument(
+        "--plans", type=int, default=5, metavar="N",
+        help="fault plans to generate from the seed (default 5); each "
+        "plan overlaps 2-3 faults of at least two distinct kinds",
+    )
+    p_soak.add_argument("--seed", type=int, default=1)
+    p_soak.add_argument(
+        "--pattern", choices=PATTERN_NAMES, default="lw",
+        help="access pattern of every soak cell (default lw)",
+    )
+    p_soak.add_argument(
+        "--sync", choices=SYNC_STYLES, default="none",
+        help="sync style of every soak cell (default none)",
+    )
+    p_soak.add_argument(
+        "--policy", default="adaptive",
+        help="entrant to soak: 'none' (no prefetching) or any "
+        "registered policy (default adaptive)",
+    )
+    p_soak.add_argument("--compute", type=float, default=30.0,
+                        help="mean per-block compute time (ms)")
+    p_soak.add_argument("--nodes", type=int, default=8)
+    p_soak.add_argument("--disks", type=int, default=8)
+    p_soak.add_argument("--file-blocks", type=int, default=640)
+    p_soak.add_argument("--reads", type=int, default=640)
+    p_soak.add_argument(
+        "--save-plans", default=None, metavar="DIR",
+        help="also write every generated plan as JSON into DIR",
+    )
+    p_soak.add_argument("--csv", default=None, metavar="FILE",
+                        help="also write the soak table as CSV")
+    p_soak.add_argument(
+        "--digest-out", default=None, metavar="FILE",
+        help="write the soak digest (for a later --check-digest)",
+    )
+    p_soak.add_argument(
+        "--check-digest", default=None, metavar="FILE",
+        help="compare against a saved digest; exit 1 on mismatch",
+    )
+    p_soak.set_defaults(func=_cmd_soak)
 
     p_suite = sub.add_parser("suite", help="run the full paper mix")
     p_suite.add_argument("--seed", type=int, default=1)

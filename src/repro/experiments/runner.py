@@ -154,6 +154,10 @@ class RunResult:
     disk_retries: int = 0
     disk_timeouts: int = 0
     breaker_opens: int = 0
+    #: Fail-slow windows opened by the online latency detector.
+    failslow_detections: int = 0
+    #: In-flight prefetches killed by a failed fetch (written off).
+    prefetch_write_offs: int = 0
     #: Total time (ms) during which at least one disk was degraded
     #: (faulted window or open breaker).
     time_degraded: float = 0.0
@@ -458,6 +462,8 @@ def run_materialized(
         disk_retries=metrics.total_retries,
         disk_timeouts=metrics.total_timeouts,
         breaker_opens=metrics.breaker_opens,
+        failslow_detections=metrics.failslow_detections,
+        prefetch_write_offs=metrics.prefetch_write_offs,
         time_degraded=resilience.time_in_degraded(metrics.end_time)
         if resilience is not None and metrics.end_time is not None
         else 0.0,

@@ -10,6 +10,17 @@ name resolves through the shared policy factory
 (:mod:`repro.prefetch.factory`), so oracles, on-the-fly predictors, and
 the adaptive policy race under one flag.
 
+The matrix has a third axis: **fault plans**.  ``fault_plans`` defaults
+to a single healthy machine, but a chaos tournament lists several
+:class:`~repro.faults.plan.FaultPlan`\\ s (``None`` = healthy) and every
+(pattern, sync) cell is raced once per plan — same seed, same machine,
+same workload, same injected fault schedule, so within a faulted cell
+the only difference is still the policy.  Faulted rows carry the
+degraded-mode measures (error/retry/timeout counts, time-in-degraded,
+read p99) plus a **resilience score**: the entrant's healthy elapsed
+time divided by its faulted elapsed time, computed whenever the same
+matrix also ran the healthy plan (1.0 = the faults cost nothing).
+
 All runs are batched through the perf executor
 (:func:`repro.perf.executor.execute_runs`): ``--jobs`` fans them out to
 worker processes and the content-addressed run cache memoizes repeats.
@@ -24,6 +35,7 @@ import io
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from ..faults.plan import FaultPlan
 from ..metrics.report import LEAGUE_COLUMNS, league_row, render_table
 from ..workload.patterns import PATTERN_NAMES
 from ..workload.synchronization import SYNC_STYLES
@@ -35,6 +47,7 @@ __all__ = [
     "TournamentSpec",
     "TournamentCell",
     "TournamentResult",
+    "plan_name",
     "run_tournament",
 ]
 
@@ -45,6 +58,7 @@ NO_PREFETCH = "none"
 CSV_COLUMNS = (
     "pattern",
     "sync",
+    "faults",
     "policy",
     "winner",
     "total_time",
@@ -57,21 +71,40 @@ CSV_COLUMNS = (
     "unused_rate",
     "distance_initial",
     "distance_final",
+    "disk_errors",
+    "retries",
+    "timeouts",
+    "breaker_opens",
+    "failslow_detections",
+    "prefetch_write_offs",
+    "time_degraded",
+    "resilience_score",
 )
+
+
+def plan_name(plan: Optional[FaultPlan]) -> str:
+    """Stable display name of a fault-plan axis entry: "none" for the
+    healthy machine, else the plan's content digest (identical plans get
+    identical names across machines and sessions)."""
+    return "none" if plan is None else plan.digest
 
 
 @dataclass(frozen=True)
 class TournamentSpec:
     """What to race: the cell matrix, the entrants, and the base config.
 
-    ``base`` supplies everything except pattern/sync/policy (machine
-    size, seed, compute intensity, fault plan, ...); its own pattern and
-    sync fields are ignored.
+    ``base`` supplies everything except pattern/sync/policy/faults
+    (machine size, seed, compute intensity, ...); its own pattern and
+    sync fields are ignored.  A fault plan on ``base`` is lifted into
+    ``fault_plans`` when that axis is left at its healthy default, so
+    ``--faults`` keeps meaning "run the whole matrix under this plan".
     """
 
     patterns: Tuple[str, ...] = PATTERN_NAMES
     sync_styles: Tuple[str, ...] = ("none",)
     policies: Tuple[str, ...] = (NO_PREFETCH, "oracle", "adaptive")
+    #: The chaos axis: each entry is a FaultPlan or None (healthy).
+    fault_plans: Tuple[Optional[FaultPlan], ...] = (None,)
     base: ExperimentConfig = field(default_factory=ExperimentConfig)
 
     def __post_init__(self) -> None:
@@ -97,29 +130,46 @@ class TournamentSpec:
                 )
         if len(set(self.policies)) != len(self.policies):
             raise ValueError("duplicate entrants")
+        if not self.fault_plans:
+            raise ValueError("tournament needs at least one fault plan")
+        names = [plan_name(plan) for plan in self.fault_plans]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate fault plans")
+        if self.base.faults is not None and self.fault_plans == (None,):
+            object.__setattr__(self, "fault_plans", (self.base.faults,))
 
-    def cells(self) -> Iterator[Tuple[str, str]]:
-        """Every valid (pattern, sync) cell, in matrix order (lw/portion
-        is skipped: the paper's footnote 3 combination does not exist)."""
+    def cells(self) -> Iterator[Tuple[str, str, Optional[FaultPlan]]]:
+        """Every valid (pattern, sync, fault plan) cell, in matrix order
+        (lw/portion is skipped: the paper's footnote 3 combination does
+        not exist)."""
         for pattern in self.patterns:
             for sync in self.sync_styles:
                 if pattern == "lw" and sync == "portion":
                     continue
-                yield pattern, sync
+                for plan in self.fault_plans:
+                    yield pattern, sync, plan
 
     def config_for(
-        self, pattern: str, sync_style: str, policy: str
+        self,
+        pattern: str,
+        sync_style: str,
+        policy: str,
+        plan: Optional[FaultPlan] = None,
     ) -> ExperimentConfig:
         """The run config of one entrant in one cell."""
         if policy == NO_PREFETCH:
             return self.base.with_overrides(
-                pattern=pattern, sync_style=sync_style, prefetch=False
+                pattern=pattern,
+                sync_style=sync_style,
+                prefetch=False,
+                faults=plan,
             )
         return self.base.with_overrides(
             pattern=pattern,
             sync_style=sync_style,
             prefetch=True,
             policy=policy,
+            faults=plan,
         )
 
 
@@ -132,6 +182,8 @@ class TournamentCell:
     policy: str
     result: RunResult
     winner: bool = False
+    #: Fault-plan axis entry ("none" = healthy; else the plan digest).
+    plan: str = "none"
 
 
 @dataclass
@@ -141,20 +193,43 @@ class TournamentResult:
     spec: TournamentSpec
     cells: List[TournamentCell]
 
-    def groups(self) -> "Dict[Tuple[str, str], List[TournamentCell]]":
-        """Cells grouped by (pattern, sync), in matrix order."""
-        out: Dict[Tuple[str, str], List[TournamentCell]] = {}
+    def groups(
+        self,
+    ) -> "Dict[Tuple[str, str, str], List[TournamentCell]]":
+        """Cells grouped by (pattern, sync, plan), in matrix order."""
+        out: Dict[Tuple[str, str, str], List[TournamentCell]] = {}
         for cell in self.cells:
-            out.setdefault((cell.pattern, cell.sync_style), []).append(cell)
+            out.setdefault(
+                (cell.pattern, cell.sync_style, cell.plan), []
+            ).append(cell)
         return out
 
-    def winners(self) -> Dict[Tuple[str, str], str]:
-        """(pattern, sync) -> winning policy (lowest total time; ties go
-        to the earlier entrant in spec order)."""
+    def winners(self) -> Dict[Tuple[str, str, str], str]:
+        """(pattern, sync, plan) -> winning policy (lowest total time;
+        ties go to the earlier entrant in spec order)."""
         return {
             key: min(group, key=lambda c: c.result.total_time).policy
             for key, group in self.groups().items()
         }
+
+    def resilience_score(self, cell: TournamentCell) -> Optional[float]:
+        """Healthy elapsed time / this faulted cell's elapsed time, for
+        the same (pattern, sync, policy) — 1.0 means the faults cost the
+        entrant nothing, smaller means slower under chaos.  ``None`` for
+        healthy cells and when the matrix has no healthy plan."""
+        if cell.plan == "none":
+            return None
+        for other in self.cells:
+            if (
+                other.plan == "none"
+                and other.pattern == cell.pattern
+                and other.sync_style == cell.sync_style
+                and other.policy == cell.policy
+            ):
+                if cell.result.total_time <= 0.0:
+                    return None
+                return other.result.total_time / cell.result.total_time
+        return None
 
     def standings(self) -> List[Tuple[str, int]]:
         """(policy, cells won), best first, in entrant order on ties."""
@@ -190,6 +265,8 @@ class TournamentResult:
                 cell.policy,
                 cell.result,
                 cell.winner,
+                plan_name=cell.plan,
+                resilience_score=self.resilience_score(cell),
             )
             for cell in self.cells
         ]
@@ -214,12 +291,14 @@ class TournamentResult:
         for cell in self.cells:
             r = cell.result
             summary = r.adaptive_distance_summary
+            score = self.resilience_score(cell)
             out.write(
                 ",".join(
                     str(v)
                     for v in (
                         cell.pattern,
                         cell.sync_style,
+                        cell.plan,
                         cell.policy,
                         int(cell.winner),
                         r.total_time,
@@ -232,6 +311,14 @@ class TournamentResult:
                         r.unused_prefetch_rate,
                         summary.get("initial", ""),
                         summary.get("final", ""),
+                        r.disk_errors,
+                        r.disk_retries,
+                        r.disk_timeouts,
+                        r.breaker_opens,
+                        r.failslow_detections,
+                        r.prefetch_write_offs,
+                        r.time_degraded,
+                        score if score is not None else "",
                     )
                 )
                 + "\n"
@@ -254,6 +341,7 @@ class TournamentResult:
                 {
                     "pattern": cell.pattern,
                     "sync": cell.sync_style,
+                    "plan": cell.plan,
                     "policy": cell.policy,
                     "winner": cell.winner,
                     "total_time": cell.result.total_time,
@@ -264,6 +352,14 @@ class TournamentResult:
                     "unused_evicted": cell.result.prefetch_unused_evicted,
                     "unused_at_end": cell.result.prefetch_unused_at_end,
                     "trajectory": cell.result.adaptive_distance_trajectory,
+                    "disk_errors": cell.result.disk_errors,
+                    "retries": cell.result.disk_retries,
+                    "timeouts": cell.result.disk_timeouts,
+                    "breaker_opens": cell.result.breaker_opens,
+                    "failslow": cell.result.failslow_detections,
+                    "write_offs": cell.result.prefetch_write_offs,
+                    "time_degraded": cell.result.time_degraded,
+                    "fault_digest": cell.result.fault_digest,
                 }
                 for cell in self.cells
             ]
@@ -283,8 +379,8 @@ def run_tournament(
 
     matrix = list(spec.cells())
     configs = [
-        spec.config_for(pattern, sync, policy)
-        for pattern, sync in matrix
+        spec.config_for(pattern, sync, policy, plan)
+        for pattern, sync, plan in matrix
         for policy in spec.policies
     ]
     if progress is not None:
@@ -296,7 +392,7 @@ def run_tournament(
 
     cells: List[TournamentCell] = []
     index = 0
-    for pattern, sync in matrix:
+    for pattern, sync, plan in matrix:
         for policy in spec.policies:
             cells.append(
                 TournamentCell(
@@ -304,11 +400,15 @@ def run_tournament(
                     sync_style=sync,
                     policy=policy,
                     result=results[index],
+                    plan=plan_name(plan),
                 )
             )
             index += 1
     tournament = TournamentResult(spec=spec, cells=cells)
     winners = tournament.winners()
     for cell in cells:
-        cell.winner = winners[(cell.pattern, cell.sync_style)] == cell.policy
+        cell.winner = (
+            winners[(cell.pattern, cell.sync_style, cell.plan)]
+            == cell.policy
+        )
     return tournament

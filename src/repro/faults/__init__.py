@@ -13,9 +13,10 @@ See ``docs/faults.md``.  Public surface:
 """
 
 from .breaker import BreakerState, CircuitBreaker
+from .detector import FailSlowConfig, FailSlowDetector
 from .errors import FaultPlanError, ReadFailedError
 from .events import FaultEvent, FaultEventLog
-from .layer import ResilienceLayer
+from .layer import SIGNAL_KINDS, ResilienceLayer
 from .model import DiskFaultState, FaultyDiskModel
 from .plan import (
     FailSlow,
@@ -32,6 +33,8 @@ __all__ = [
     "CircuitBreaker",
     "DiskFaultState",
     "FailSlow",
+    "FailSlowConfig",
+    "FailSlowDetector",
     "FailStop",
     "FaultEvent",
     "FaultEventLog",
@@ -43,5 +46,6 @@ __all__ = [
     "ReadFailedError",
     "ResilienceLayer",
     "ResiliencePolicy",
+    "SIGNAL_KINDS",
     "TransientErrors",
 ]

@@ -23,7 +23,7 @@ schedule — no timer processes, so the breaker adds no events of its own.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from .events import FaultEventLog
 from .plan import ResiliencePolicy
@@ -64,6 +64,11 @@ class CircuitBreaker:
         self._open_until = 0.0
         self._degraded_since: Optional[float] = None
         self._intervals: List[Tuple[float, float]] = []
+        #: Optional fan-out for resilience signals; set by the layer.
+        #: Called as ``on_transition(disk_id, old_state, new_state)``.
+        self.on_transition: Optional[
+            Callable[[int, BreakerState, BreakerState], None]
+        ] = None
 
     # -- gating ------------------------------------------------------------
 
@@ -82,6 +87,22 @@ class CircuitBreaker:
             self._transition(BreakerState.HALF_OPEN)
             return True
         return self.state is BreakerState.HALF_OPEN
+
+    def peek_allow(self) -> bool:
+        """Would :meth:`allow` admit a prefetch right now?
+
+        Pure query — no state transition, so policies may call it from
+        peek-side candidate filtering (a passive context) without
+        perturbing when the lazy OPEN→HALF_OPEN move happens.  Returns
+        True for OPEN-past-cooldown so exactly one probe candidate
+        reaches the issuing gate, whose :meth:`allow` call performs the
+        actual transition.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            return self.env.now >= self._open_until
+        return True  # HALF_OPEN: probes welcome
 
     # -- result feed -------------------------------------------------------
 
@@ -123,6 +144,8 @@ class CircuitBreaker:
         self.metrics.record_breaker_transition(
             self.disk_id, old.value, new.value
         )
+        if self.on_transition is not None:
+            self.on_transition(self.disk_id, old, new)
 
     def open_intervals(self, end: float) -> List[Tuple[float, float]]:
         """Spans during which the breaker was not CLOSED, closing any

@@ -1,0 +1,175 @@
+"""Online fail-slow detection from observed service latencies.
+
+A fail-slow disk is the nastiest degradation mode: it answers every
+request, trips no breaker, and silently stretches the whole machine
+(Weaver's multicomputer object-store evaluation makes the same point for
+storage mechanisms generally — degraded service must be *detected*, not
+assumed away).  :class:`FailSlowDetector` watches the per-disk service
+latencies the resilience layer already supervises and flags a disk whose
+latency EWMA drifts far above its own learned baseline:
+
+1. **learn** — the first ``baseline_samples`` completions of each disk
+   establish its baseline mean service time (no peeking at the fault
+   plan, no knowledge of the disk model);
+2. **track** — subsequent completions update an exponentially weighted
+   moving average with smoothing ``alpha``;
+3. **flag** — the disk is marked *slow* when the EWMA exceeds
+   ``trip_factor`` × baseline, and cleared again (hysteresis) only when
+   it falls below ``clear_factor`` × baseline.
+
+The detector is pure arithmetic over simulation-delivered samples: no
+randomness, no wall clock, no events of its own — feeding it cannot
+perturb the schedule, so faulted runs stay bit-identical under audit.
+Detected windows are reported for degraded-time accounting and the obs
+fault track; live flags drive the adaptive policy's per-disk prefetch
+deprioritization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.invariants import InvariantViolation
+
+__all__ = ["FailSlowConfig", "FailSlowDetector"]
+
+
+@dataclass(frozen=True)
+class FailSlowConfig:
+    """Thresholds of the fail-slow detector.
+
+    Defaults are deliberately conservative: the trip factor sits far
+    above the jitter of any healthy disk model in this repository
+    (fixed: none; jittered: a few percent; seek: bounded by the seek
+    span), so clean runs never flag — the false-positive bound the
+    detector's unit tests pin down.  The baseline window is short
+    because shared-read workloads (``lw``) fetch each block once for
+    all readers: a disk may see only a dozen supervised completions in
+    a whole run, and the baseline must be learned from the healthy
+    prefix before a mid-run fault window opens.
+    """
+
+    #: Completions per disk used to learn its baseline mean latency.
+    baseline_samples: int = 6
+    #: EWMA smoothing factor in (0, 1]; higher reacts faster.
+    alpha: float = 0.3
+    #: Flag when EWMA > trip_factor x baseline.
+    trip_factor: float = 2.0
+    #: Clear when EWMA < clear_factor x baseline (hysteresis band).
+    clear_factor: float = 1.4
+
+    def __post_init__(self) -> None:
+        if self.baseline_samples < 1:
+            raise ValueError("baseline_samples must be >= 1")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.trip_factor <= 1.0:
+            raise ValueError("trip_factor must exceed 1")
+        if not 1.0 <= self.clear_factor < self.trip_factor:
+            raise ValueError("need 1 <= clear_factor < trip_factor")
+
+
+class _DiskTracker:
+    """Baseline + EWMA + flag state of one disk."""
+
+    __slots__ = (
+        "samples",
+        "baseline_sum",
+        "baseline",
+        "ewma",
+        "slow_since",
+        "windows",
+    )
+
+    def __init__(self) -> None:
+        self.samples = 0
+        self.baseline_sum = 0.0
+        self.baseline: Optional[float] = None
+        self.ewma: Optional[float] = None
+        self.slow_since: Optional[float] = None
+        self.windows: List[Tuple[float, float]] = []
+
+
+class FailSlowDetector:
+    """Per-disk service-latency EWMA vs learned baseline."""
+
+    def __init__(self, config: FailSlowConfig = FailSlowConfig()) -> None:
+        self.config = config
+        self._disks: Dict[int, _DiskTracker] = {}
+        #: Detected-window count across all disks (flag transitions).
+        self.detections = 0
+
+    def _tracker(self, disk_id: int) -> _DiskTracker:
+        tracker = self._disks.get(disk_id)
+        if tracker is None:
+            tracker = _DiskTracker()
+            self._disks[disk_id] = tracker
+        return tracker
+
+    def observe(
+        self, disk_id: int, service_time: float, now: float
+    ) -> Optional[str]:
+        """Fold one completed transfer's service latency in.
+
+        Returns ``"detected"`` / ``"cleared"`` on a flag transition,
+        ``None`` otherwise.  Callers record transitions in the fault
+        event log and fan them out as resilience signals.
+        """
+        cfg = self.config
+        tracker = self._tracker(disk_id)
+        tracker.samples += 1
+        if tracker.baseline is None:
+            tracker.baseline_sum += service_time
+            if tracker.samples >= cfg.baseline_samples:
+                tracker.baseline = tracker.baseline_sum / tracker.samples
+                tracker.ewma = tracker.baseline
+            return None
+        if tracker.ewma is None:
+            raise InvariantViolation(
+                "detector baseline set without an EWMA seed"
+            )
+        tracker.ewma += cfg.alpha * (service_time - tracker.ewma)
+        if tracker.baseline <= 0.0:
+            return None
+        ratio = tracker.ewma / tracker.baseline
+        if tracker.slow_since is None and ratio > cfg.trip_factor:
+            tracker.slow_since = now
+            self.detections += 1
+            return "detected"
+        if tracker.slow_since is not None and ratio < cfg.clear_factor:
+            tracker.windows.append((tracker.slow_since, now))
+            tracker.slow_since = None
+            return "cleared"
+        return None
+
+    def is_slow(self, disk_id: int) -> bool:
+        """Is ``disk_id`` currently flagged slow?"""
+        tracker = self._disks.get(disk_id)
+        return tracker is not None and tracker.slow_since is not None
+
+    def baseline(self, disk_id: int) -> Optional[float]:
+        """The learned baseline mean latency (None while learning)."""
+        tracker = self._disks.get(disk_id)
+        return tracker.baseline if tracker is not None else None
+
+    def slow_windows(
+        self, disk_id: int, end: float
+    ) -> List[Tuple[float, float]]:
+        """Detected windows of one disk, closing a live flag at ``end``."""
+        tracker = self._disks.get(disk_id)
+        if tracker is None:
+            return []
+        out = list(tracker.windows)
+        if tracker.slow_since is not None and end > tracker.slow_since:
+            out.append((tracker.slow_since, end))
+        return out
+
+    def all_windows(self, end: float) -> List[Tuple[int, float, float]]:
+        """Every detected window as ``(disk, start, stop)``, in disk
+        order then time order (for degraded accounting and obs spans)."""
+        out: List[Tuple[int, float, float]] = []
+        for disk_id in sorted(self._disks):
+            for start, stop in self.slow_windows(disk_id, end):
+                out.append((disk_id, start, stop))
+        return out

@@ -25,7 +25,7 @@ class FaultEvent:
     """One fault-subsystem state transition."""
 
     time: float
-    #: "error" | "timeout" | "retry" | "exhausted" | "breaker"
+    #: "error" | "timeout" | "retry" | "exhausted" | "breaker" | "failslow"
     kind: str
     disk: int
     detail: str = ""

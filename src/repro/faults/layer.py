@@ -28,9 +28,18 @@ is the determinism witness for the injected schedule.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Tuple,
+)
 
-from .breaker import CircuitBreaker
+from .breaker import BreakerState, CircuitBreaker
+from .detector import FailSlowConfig, FailSlowDetector
 from .errors import ReadFailedError
 from .events import FaultEventLog
 from .model import DiskFaultState, FaultyDiskModel
@@ -43,7 +52,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.core import Environment
     from ..sim.rng import RandomStreams
 
-__all__ = ["ResilienceLayer"]
+__all__ = ["ResilienceLayer", "SIGNAL_KINDS"]
+
+#: Resilience-signal kinds fanned out to :attr:`ResilienceLayer.signal_observer`.
+SIGNAL_KINDS = (
+    "error",
+    "timeout",
+    "retry",
+    "breaker-open",
+    "breaker-half-open",
+    "breaker-close",
+    "fail-slow",
+    "fail-slow-clear",
+)
+
+_BREAKER_SIGNAL = {
+    BreakerState.OPEN: "breaker-open",
+    BreakerState.HALF_OPEN: "breaker-half-open",
+    BreakerState.CLOSED: "breaker-close",
+}
 
 
 class ResilienceLayer:
@@ -56,6 +83,7 @@ class ResilienceLayer:
         machine: "Machine",
         streams: "RandomStreams",
         metrics: "RunMetrics",
+        detector: Optional[FailSlowConfig] = None,
     ) -> None:
         plan.validate_for(machine.n_disks)
         self.env = env
@@ -82,12 +110,59 @@ class ResilienceLayer:
             )
             for disk in machine.disks
         }
+        #: Online fail-slow detector fed from supervised completions.
+        self.detector = FailSlowDetector(detector or FailSlowConfig())
+        #: Passive fan-out for resilience signals, ``(kind, disk_id)``
+        #: with ``kind`` from :data:`SIGNAL_KINDS`.  Consumers (the
+        #: adaptive policy) must stay pure — no events, no randomness.
+        self.signal_observer: Optional[Callable[[str, int], None]] = None
+        for breaker in self.breakers.values():
+            breaker.on_transition = self._on_breaker_transition
+
+    # -- signal fan-out ----------------------------------------------------
+
+    def _signal(self, kind: str, disk_id: int) -> None:
+        if self.signal_observer is not None:
+            self.signal_observer(kind, disk_id)
+
+    def _on_breaker_transition(
+        self, disk_id: int, old: BreakerState, new: BreakerState
+    ) -> None:
+        self._signal(_BREAKER_SIGNAL[new], disk_id)
+
+    def _feed_detector(self, disk_id: int, service_time: float) -> None:
+        transition = self.detector.observe(
+            disk_id, service_time, self.env.now
+        )
+        if transition is None:
+            return
+        self.log.record("failslow", disk_id, detail=transition)
+        self.metrics.record_failslow(disk_id, transition)
+        self._signal(
+            "fail-slow" if transition == "detected" else "fail-slow-clear",
+            disk_id,
+        )
 
     # -- prefetch gating ---------------------------------------------------
 
     def allow_prefetch(self, disk_id: int) -> bool:
         """Breaker check for the prefetch path (demand is never gated)."""
         return self.breakers[disk_id].allow()
+
+    def peek_prefetch(self, disk_id: int) -> bool:
+        """Pure peek-side variant of :meth:`allow_prefetch` — safe from
+        passive contexts, performs no breaker transition."""
+        return self.breakers[disk_id].peek_allow()
+
+    def is_slow(self, disk_id: int) -> bool:
+        """Is the fail-slow detector currently flagging ``disk_id``?"""
+        return self.detector.is_slow(disk_id)
+
+    def consecutive_failures(self, disk_id: int) -> int:
+        """Current consecutive-failure count of ``disk_id``'s breaker
+        (pure query; resets to zero on any clean completion).  Lets the
+        adaptive policy tell a fresh incident from an ongoing burst."""
+        return self.breakers[disk_id].consecutive_failures
 
     # -- the supervised fetch path ----------------------------------------
 
@@ -148,12 +223,21 @@ class ResilienceLayer:
                 yield request.done
 
             if request.done.triggered:
+                # The transfer completed (cleanly or with an error) —
+                # either way its service latency is a genuine sample of
+                # how the disk is performing, so feed the detector.
+                if request.complete_time is not None and (
+                    request.start_time is not None
+                ):
+                    self._feed_detector(
+                        disk.disk_id,
+                        request.complete_time - request.start_time,
+                    )
                 failure = request.error
                 if failure is None:
                     breaker.record_success()
                     on_success()
                     return
-                # The transfer completed but returned an error.
                 self.metrics.record_disk_error(disk.disk_id)
                 self.log.record(
                     "error",
@@ -161,6 +245,7 @@ class ResilienceLayer:
                     detail=f"{what}: {failure}",
                     attempt=attempt,
                 )
+                self._signal("error", disk.disk_id)
                 breaker.record_failure()
             else:
                 # Timed out.  Withdraw the request if it is still queued;
@@ -176,6 +261,7 @@ class ResilienceLayer:
                     detail=f"{what}: {failure}",
                     attempt=attempt,
                 )
+                self._signal("timeout", disk.disk_id)
                 breaker.record_failure()
 
             if attempt > policy.max_retries:
@@ -198,6 +284,7 @@ class ResilienceLayer:
                 detail=f"{what}: backoff {delay:.3f} ms",
                 attempt=attempt,
             )
+            self._signal("retry", disk.disk_id)
             yield self.env.timeout(delay)
             attempt += 1
 
@@ -211,6 +298,8 @@ class ResilienceLayer:
             spans.extend(state.degraded_windows())
         for breaker in self.breakers.values():
             spans.extend(breaker.open_intervals(end))
+        for _disk, start, stop in self.detector.all_windows(end):
+            spans.append((start, stop))
         clipped = []
         for start, stop in spans:
             start = max(0.0, start)

@@ -167,10 +167,13 @@ class BlockCache:
         #: Optional callback ``(node_id, block)`` invoked on every demand
         #: access — feeds on-the-fly predictor policies.
         self.access_observer = None
-        #: Optional callback ``(fetched_by, block)`` invoked when a
-        #: prefetched block is evicted or invalidated before its first
-        #: demand hit — the waste signal the adaptive policy's feedback
-        #: loop shrinks on.  Must be passive (no events, no randomness).
+        #: Optional callback ``(fetched_by, block, reason)`` invoked when
+        #: a prefetched block leaves the cache before its first demand
+        #: hit — the waste signal the adaptive policy's feedback loop
+        #: shrinks on.  ``reason`` is "evicted" (replacement victim /
+        #: invalidation) or "fetch_failed" (the disk died mid-fetch and
+        #: the prefetch is written off).  Must be passive (no events, no
+        #: randomness).
         self.unused_prefetch_observer = None
         #: Optional :class:`~repro.faults.layer.ResilienceLayer`.  When
         #: set (fault-injection runs), block fetches are routed through
@@ -216,17 +219,29 @@ class BlockCache:
                 self.unused_prefetched,
             )
 
-    def _note_unused_eviction(self, buffer: Buffer) -> None:
+    def _note_unused_eviction(
+        self, buffer: Buffer, reason: str = "evicted"
+    ) -> None:
         """Account a prefetched block leaving the cache before its first
-        demand hit (caller is about to invalidate/abort the buffer)."""
+        demand hit (caller is about to invalidate/abort the buffer).
+
+        A "fetch_failed" departure is a *write-off* — the block never
+        arrived — and is booked separately from ordinary unused
+        evictions so waste and fault damage stay distinguishable.
+        """
         if (
             buffer.fetch_kind is RequestKind.PREFETCH
             and buffer.read_count == 0
             and buffer.block is not None
         ):
-            self.metrics.record_unused_prefetch_eviction()
+            if reason == "fetch_failed":
+                self.metrics.record_prefetch_write_off()
+            else:
+                self.metrics.record_unused_prefetch_eviction()
             if self.unused_prefetch_observer is not None:
-                self.unused_prefetch_observer(buffer.fetched_by, buffer.block)
+                self.unused_prefetch_observer(
+                    buffer.fetched_by, buffer.block, reason
+                )
 
     def _evict(self, victim: Buffer) -> None:
         """Detach the victim's current block (caller holds the lock)."""
@@ -348,7 +363,7 @@ class BlockCache:
         simply empty again."""
         if buffer.block is not None and self.table.get(buffer.block) is buffer:
             del self.table[buffer.block]
-        self._note_unused_eviction(buffer)
+        self._note_unused_eviction(buffer, reason="fetch_failed")
         self._release_budget(buffer)
         event = buffer.abort_fetch()
         event.fail(error)
@@ -423,7 +438,7 @@ class BlockCache:
                     # Circuit breaker open: release the reservation and
                     # let the daemon sit out this idle period, so
                     # prefetch traffic never piles onto a sick disk.
-                    policy.abort(node_id, ref_index, block)
+                    policy.suspend(node_id, ref_index, block)
                     yield self.env.timeout(self.costs.prefetch_failed_action)
                     return "suspended"
 

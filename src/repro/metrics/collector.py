@@ -64,6 +64,10 @@ class RunMetrics:
         #: blocks still unused when the run ends are counted separately
         #: by the runner from the cache's live budget).
         self.prefetch_unused_evictions = 0
+        #: Prefetches killed by a failed fetch (retry exhaustion on a
+        #: fail-stopped disk) — written off, distinct from ordinary
+        #: unused evictions: the block never arrived at all.
+        self.prefetch_write_offs = 0
 
         # Prefetch actions.
         self.prefetch_action_times = Tally("prefetch_action")
@@ -80,6 +84,9 @@ class RunMetrics:
         self.disk_timeouts: Dict[int, int] = {}
         #: ``(time, disk_id, old_state, new_state)`` in event order.
         self.breaker_transitions: List[Tuple[float, int, str, str]] = []
+        #: Fail-slow detector flag transitions,
+        #: ``(time, disk_id, "detected"|"cleared")`` in event order.
+        self.failslow_events: List[Tuple[float, int, str]] = []
 
         # Run span.
         self.start_time: Optional[float] = None
@@ -120,6 +127,10 @@ class RunMetrics:
         """One prefetched block left the cache without a demand hit."""
         self.prefetch_unused_evictions += 1
 
+    def record_prefetch_write_off(self) -> None:
+        """One in-flight prefetch died with its disk (fetch failure)."""
+        self.prefetch_write_offs += 1
+
     def record_prefetch_action(
         self, duration: float, outcome: str
     ) -> None:
@@ -151,6 +162,10 @@ class RunMetrics:
             (self.env.now, disk_id, old_state, new_state)
         )
 
+    def record_failslow(self, disk_id: int, transition: str) -> None:
+        """One fail-slow detector flag transition."""
+        self.failslow_events.append((self.env.now, disk_id, transition))
+
     # -- derived quantities -----------------------------------------------------
 
     @property
@@ -170,6 +185,13 @@ class RunMetrics:
         """Number of closed/half-open -> open transitions."""
         return sum(
             1 for _, _, _, new in self.breaker_transitions if new == "open"
+        )
+
+    @property
+    def failslow_detections(self) -> int:
+        """Number of fail-slow windows the online detector opened."""
+        return sum(
+            1 for _, _, what in self.failslow_events if what == "detected"
         )
 
     @property

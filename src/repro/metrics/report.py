@@ -64,16 +64,23 @@ FAULT_MEASURES: Tuple[Tuple[str, str], ...] = (
     ("retries", "disk_retries"),
     ("timeouts", "disk_timeouts"),
     ("breaker opens", "breaker_opens"),
+    ("fail-slow detections", "failslow_detections"),
+    ("prefetch write-offs", "prefetch_write_offs"),
     ("time degraded (ms)", "time_degraded"),
 )
 
 
 #: Column headings of the policy-tournament league table
-#: (``rapid-transit tournament``): one row per (pattern, sync, policy)
-#: cell, winners marked in the last column.
+#: (``rapid-transit tournament``): one row per (pattern, sync, faults,
+#: policy) cell, winners marked in the last column.  ``e/r/t`` packs the
+#: degraded-mode error/retry/timeout counts; ``resilience`` is the
+#: healthy-to-faulted elapsed-time ratio of the same entrant (1.0 = the
+#: faults cost nothing, smaller = slower under chaos; "-" for healthy
+#: cells and for matrices without a healthy counterpart).
 LEAGUE_COLUMNS: Tuple[str, ...] = (
     "pattern",
     "sync",
+    "faults",
     "policy",
     "total time (ms)",
     "read p50 (ms)",
@@ -81,6 +88,9 @@ LEAGUE_COLUMNS: Tuple[str, ...] = (
     "hit ratio",
     "unused rate",
     "distance",
+    "e/r/t",
+    "degraded (ms)",
+    "resilience",
     "win",
 )
 
@@ -91,6 +101,8 @@ def league_row(
     policy: str,
     result: "RunResult",
     winner: bool,
+    plan_name: str = "none",
+    resilience_score: Optional[float] = None,
 ) -> Tuple:
     """One league-table row for :data:`LEAGUE_COLUMNS`."""
     summary = result.adaptive_distance_summary
@@ -98,9 +110,17 @@ def league_row(
         distance = f"{summary['initial']:.0f}->{summary['final']:.1f}"
     else:
         distance = "-"
+    if plan_name == "none":
+        fault_counts = "-"
+    else:
+        fault_counts = (
+            f"{result.disk_errors}/{result.disk_retries}"
+            f"/{result.disk_timeouts}"
+        )
     return (
         pattern,
         sync_style,
+        plan_name,
         policy,
         result.total_time,
         result.read_p50,
@@ -108,6 +128,9 @@ def league_row(
         result.hit_ratio,
         result.unused_prefetch_rate,
         distance,
+        fault_counts,
+        result.time_degraded if plan_name != "none" else "-",
+        resilience_score if resilience_score is not None else "-",
         "*" if winner else "",
     )
 

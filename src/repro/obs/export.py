@@ -33,10 +33,10 @@ __all__ = [
 ]
 
 #: Perfetto process ids, one per track family.
-_TRACK_PIDS = {"node": 1, "disk": 2, "daemon": 3}
+_TRACK_PIDS = {"node": 1, "disk": 2, "daemon": 3, "fault": 5}
 _COUNTER_PID = 4
 _PROCESS_NAMES = ((1, "nodes"), (2, "disks"), (3, "daemons"),
-                  (_COUNTER_PID, "timelines"))
+                  (_COUNTER_PID, "timelines"), (5, "faults"))
 
 _MS_TO_US = 1000.0
 
@@ -84,6 +84,11 @@ def to_perfetto(data: ObsData) -> Dict[str, Any]:
         events.append(
             _meta(_TRACK_PIDS["daemon"], node_id, "thread_name",
                   f"daemon {node_id}")
+        )
+    for disk_id in data.fault_disks:
+        events.append(
+            _meta(_TRACK_PIDS["fault"], disk_id, "thread_name",
+                  f"fault disk {disk_id}")
         )
     events.append(_meta(_COUNTER_PID, 0, "thread_name", "timelines"))
 
@@ -229,16 +234,20 @@ _LANE_STYLES: Tuple[Tuple[str, str, int], ...] = (
     ("overrun", "o", 6),
     ("disk:service", "X", 5),
     ("daemon:action", "p", 5),
+    ("fault:breaker", "B", 5),
+    ("fault:failslow", "F", 4),
     ("wait:sync", "s", 4),
     ("wait:self_io", "d", 3),
     ("wait:remote_io", "d", 3),
     ("disk:queue", "q", 3),
+    ("fault:", "!", 2),
     ("read:", "r", 2),
 )
 
 _LEGEND = (
     "legend: r=read  d=demand-I/O wait  s=sync wait  o=overrun  "
-    "X=disk service  q=disk queue  p=daemon action  .=cpu/idle"
+    "X=disk service  q=disk queue  p=daemon action  B=breaker open  "
+    "F=fail-slow  !=fault event  .=cpu/idle"
 )
 
 

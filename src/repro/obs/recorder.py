@@ -6,10 +6,15 @@
 
 * the per-disk ``request_observer`` (queue-wait and service spans),
 * the per-daemon ``action_observer`` (daemon CPU slices),
-* the file server's ``obs_read_observer`` (demand-read spans), and
+* the file server's ``obs_read_observer`` (demand-read spans),
 * a :class:`~repro.obs.timeline.TimelineSampler` step observer that
   snapshots cache occupancy, prefetched-unused count, per-disk queue
-  depth, and per-node CPU busy state on sim-time boundaries.
+  depth, and per-node CPU busy state on sim-time boundaries, and
+* — on faulted runs — a per-disk *fault lane* assembled post-run from
+  the resilience layer's event log: breaker open/half-open segments,
+  detector fail-slow windows, and zero-length error/timeout/retry
+  markers, so degraded periods render alongside the demand stalls they
+  cause.
 
 Every hook is a plain callback slot that defaults to ``None`` — the
 simulator pays one ``is not None`` test per completion when tracing is
@@ -25,7 +30,7 @@ is imported by the simulation hot path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from .attribution import attribution_digest
 from .spans import SpanLog
@@ -34,6 +39,7 @@ from .timeline import TimelineRegistry, TimelineSampler
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..experiments.config import ExperimentConfig
     from ..experiments.runner import RunResult
+    from ..faults.layer import ResilienceLayer
     from ..fs.cache import BlockCache
     from ..fs.fileserver import FileServer
     from ..machine.disk import Disk, DiskRequest
@@ -43,6 +49,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.process import Process
 
 __all__ = ["ObsConfig", "ObsData", "ObsRecorder", "run_with_obs"]
+
+#: Fault-log kinds rendered as zero-length markers on the fault lane
+#: (breaker transitions become segments, failslow windows come from the
+#: detector instead so a still-open flag is closed at run end).
+_FAULT_MARKS = ("error", "timeout", "retry", "exhausted")
 
 
 @dataclass(frozen=True)
@@ -69,6 +80,9 @@ class ObsData:
     daemon_nodes: List[int]
     spans: SpanLog
     timelines: TimelineRegistry
+    #: Disk ids with a fault lane (every disk of a faulted run — each
+    #: has a breaker — and empty on fault-free runs).
+    fault_disks: List[int] = field(default_factory=list)
     #: Per-node wall-time decomposition (see :mod:`repro.obs.attribution`).
     attribution: List[dict] = field(default_factory=list)
     #: Provenance digest of the attribution payload.
@@ -98,6 +112,7 @@ class ObsRecorder:
         self.timelines = TimelineRegistry()
         self._env: Optional["Environment"] = None
         self._machine: Optional["Machine"] = None
+        self._cache: Optional["BlockCache"] = None
         self._sampler: Optional[TimelineSampler] = None
         self._daemon_nodes: List[int] = []
         self._reads = self.timelines.counter("reads.completed")
@@ -113,6 +128,7 @@ class ObsRecorder:
         self, env: "Environment", machine: "Machine", cache: "BlockCache"
     ) -> None:
         self._machine = machine
+        self._cache = cache
         self.timelines.register_gauge(
             "cache.occupancy", lambda: float(len(cache.table))
         )
@@ -248,6 +264,13 @@ class ObsRecorder:
                         period.necessary_end,
                         period.resume,
                     )
+        resilience = (
+            self._cache.resilience if self._cache is not None else None
+        )
+        fault_disks: List[int] = []
+        if resilience is not None:
+            fault_disks = sorted(resilience.breakers)
+            self._add_fault_spans(resilience, env.now)
         return ObsData(
             label=result.config.label,
             total_time=result.total_time,
@@ -256,10 +279,68 @@ class ObsRecorder:
             daemon_nodes=list(self._daemon_nodes),
             spans=self.spans,
             timelines=self.timelines,
+            fault_disks=fault_disks,
             attribution=list(result.node_attribution),
             digest=result.obs_digest
             or attribution_digest(result.node_attribution),
         )
+
+    def _add_fault_spans(
+        self, resilience: "ResilienceLayer", end: float
+    ) -> None:
+        """One fault-lifecycle lane per disk, assembled post-run.
+
+        Breaker open/half-open segments are replayed from the fault
+        event log (every transition is recorded there with its sim
+        time), fail-slow windows come from the detector (a live flag is
+        closed at ``end``), and individual error/timeout/retry/
+        exhausted events become zero-length markers.  Everything here
+        is a read of state the run already produced — the lane cannot
+        have perturbed the schedule it depicts.
+        """
+        live: Dict[int, Tuple[float, str]] = {}
+        for event in resilience.log.events:
+            track = ("fault", event.disk)
+            if event.kind == "breaker":
+                prior = live.pop(event.disk, None)
+                if prior is not None:
+                    start, state = prior
+                    self.spans.add(
+                        track,
+                        f"breaker {state}",
+                        "fault:breaker",
+                        start,
+                        event.time,
+                    )
+                state = event.detail.partition("->")[2]
+                if state != "closed":
+                    live[event.disk] = (event.time, state)
+            elif event.kind in _FAULT_MARKS:
+                self.spans.add(
+                    track,
+                    event.kind,
+                    f"fault:{event.kind}",
+                    event.time,
+                    event.time,
+                    attempt=event.attempt,
+                    detail=event.detail,
+                )
+        for disk_id, (start, state) in sorted(live.items()):
+            self.spans.add(
+                ("fault", disk_id),
+                f"breaker {state}",
+                "fault:breaker",
+                start,
+                end,
+            )
+        for disk_id, start, stop in resilience.detector.all_windows(end):
+            self.spans.add(
+                ("fault", disk_id),
+                "fail-slow",
+                "fault:failslow",
+                start,
+                stop,
+            )
 
 
 def run_with_obs(

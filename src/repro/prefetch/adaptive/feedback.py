@@ -27,7 +27,13 @@ shrink (multiplicative, ``shrink_factor`` per signal)
       predictions are being consumed);
     * ``write_off`` — a committed prefetch sat unconsumed past the
       write-off age and its in-flight slot was reclaimed (the block was
-      probably mispredicted: nobody is coming for it).
+      probably mispredicted: nobody is coming for it), or died with a
+      fail-stopped disk (fetch failure: the slot is freed immediately);
+    * ``breaker_open`` / ``fail_slow`` / ``fault_retry`` — resilience
+      signals on fault-aware runs (a disk's circuit breaker tripped, the
+      online fail-slow detector flagged a disk, a supervised fetch had
+      to be retried): speculative readahead against degraded storage is
+      pure queue pressure, so the global scope backs off.
 
 The controller is pure arithmetic on simulation-delivered signals: no
 randomness, no wall clock — identical runs see identical signal
@@ -47,6 +53,9 @@ SHRINK_SIGNALS = (
     "daemon_theft",
     "budget_pressure",
     "write_off",
+    "breaker_open",
+    "fail_slow",
+    "fault_retry",
 )
 
 

@@ -35,6 +35,37 @@ already keeps, none is invented:
 * *budget pressure*: the cache calls :meth:`abort` when an action fails
   on ``budget_full``/``no_buffer`` → shrink.
 
+Fault awareness (on by default, strictly inert on healthy runs): when
+the run carries a :class:`~repro.faults.layer.ResilienceLayer`, the
+policy subscribes to its resilience signals and
+
+* *shrinks* the global scope on breaker trips, fail-slow detections, and
+  retries (``breaker_open`` / ``fail_slow`` / ``fault_retry``); retry
+  shrinks are rate-limited to the first retry of each failure burst and
+  suppressed on disks already blacklisted or flagged slow, so one
+  incident is billed once, not once per retry;
+* *blacklists* disks whose breaker is open at peek time (pure
+  ``peek_allow`` — no transitions from a passive context), so daemons
+  keep streaming from healthy disks instead of burning idle periods on
+  "suspended" actions (fail-slow disks are deliberately *not* skipped:
+  their blocks must be read eventually, and starting a slow fetch early
+  buys more overlap, not less);
+* *re-ramps* after recovery: once the cooldown elapses the peek filter
+  admits one candidate on the sick disk again, whose issuing gate
+  performs the OPEN→HALF_OPEN transition — the half-open probe prefetch;
+  its success closes the breaker and prefetch-hit growth restores the
+  distance;
+* *writes off* committed-but-unfetchable slots: a prefetch killed by a
+  fail-stopped disk frees its degree slot immediately (``write_off``)
+  instead of lingering as a phantom commitment until the stale scan;
+* treats resilience-layer *suspensions* as fault damage, not cache
+  backpressure: :meth:`suspend` releases the reservation without the
+  ``budget_pressure`` shrink that :meth:`abort` books.
+
+Everything above reads state the resilience layer already maintains;
+with no fault plan (``cache.resilience is None``) none of it runs and
+the event schedule is bit-identical to the fault-unaware policy's.
+
 Everything here is passive bookkeeping driven by simulation events: no
 randomness, no wall clock, no event scheduling, and set containers are
 used for membership only — the policy cannot perturb the schedule it
@@ -47,15 +78,24 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple, Union
 
+from ...analysis.invariants import InvariantViolation
 from ..policy import register_policy
 from ..predictors import _ClaimingPolicy
 from .classifier import AccessClassifier, GlobalStreamClassifier
 from .feedback import FeedbackConfig, FeedbackController
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...faults.layer import ResilienceLayer
     from ...fs.cache import BlockCache
 
 __all__ = ["AdaptiveConfig", "AdaptivePolicy"]
+
+#: Resilience-signal kind -> feedback shrink reason (global scope).
+_FAULT_SHRINKS = {
+    "breaker-open": "breaker_open",
+    "fail-slow": "fail_slow",
+    "retry": "fault_retry",
+}
 
 #: Trajectory decimation threshold: when the recorded trajectory reaches
 #: this length, every other point is dropped and the recording stride
@@ -82,6 +122,11 @@ class AdaptiveConfig:
     #: cache protects from eviction — would pin one of the scope's
     #: ``degree`` slots forever and prefetching would strangle itself.
     write_off_ms: float = 250.0
+    #: Subscribe to resilience signals and steer around sick disks when
+    #: the run carries a fault plan.  Inert without one; disable to get
+    #: the original fault-oblivious behaviour (the ``adaptive-nofault``
+    #: tournament entrant).
+    fault_aware: bool = True
 
 
 class AdaptivePolicy(_ClaimingPolicy):
@@ -138,6 +183,8 @@ class AdaptivePolicy(_ClaimingPolicy):
         }
         #: Idle periods of each node already folded into the feedback.
         self._idle_seen = [0] * n_nodes
+        #: Set in :meth:`bind` when fault-aware and the run is faulted.
+        self._resilience: Optional["ResilienceLayer"] = None
 
         # Distance trajectory: (sim time, mean integer distance) points.
         self._trajectory: List[Tuple[float, float]] = []
@@ -151,6 +198,9 @@ class AdaptivePolicy(_ClaimingPolicy):
     def bind(self, cache: "BlockCache") -> None:
         super().bind(cache)
         cache.unused_prefetch_observer = self._on_unused_prefetch
+        if self.config.fault_aware and cache.resilience is not None:
+            self._resilience = cache.resilience
+            cache.resilience.signal_observer = self._on_resilience_signal
         self._trajectory.append((self._now(), self._mean_distance()))
 
     def _now(self) -> float:
@@ -212,10 +262,18 @@ class AdaptivePolicy(_ClaimingPolicy):
         self._global_run.observe(block)
 
     def _on_unused_prefetch(
-        self, node_id: Optional[int], block: int
+        self, node_id: Optional[int], block: int, reason: str = "evicted"
     ) -> None:
-        """A prefetched block was evicted/invalidated before first use
-        (the cache's ``unused_prefetch_observer`` hook)."""
+        """A prefetched block left the cache before first use (the
+        cache's ``unused_prefetch_observer`` hook).
+
+        ``reason == "fetch_failed"`` is a fault write-off — the disk
+        died mid-fetch and the block never arrived.  The degree slot is
+        freed either way (no phantom commitments), but the shrink is
+        booked as ``write_off`` rather than ``unused_eviction``: the
+        prediction was not wasteful, the disk was unfetchable.
+        """
+        shrink = "write_off" if reason == "fetch_failed" else "unused_eviction"
         # The block never reached a consumer: allow re-prefetching it.
         self._claimed.discard(block)
         entry = self._issuer.pop(block, None)
@@ -223,12 +281,40 @@ class AdaptivePolicy(_ClaimingPolicy):
             issuer, scope, _ = entry
             if scope == "global":
                 self._outstanding_global -= 1
-                self._global_controller.shrink("unused_eviction")
+                self._global_controller.shrink(shrink)
             else:
                 self._outstanding_local[issuer] -= 1
-                self._controllers[issuer].shrink("unused_eviction")
+                self._controllers[issuer].shrink(shrink)
         elif node_id is not None and 0 <= node_id < self.n_nodes:
-            self._controllers[node_id].shrink("unused_eviction")
+            self._controllers[node_id].shrink(shrink)
+
+    def _on_resilience_signal(self, kind: str, disk_id: int) -> None:
+        """Resilience-layer fan-out (fault-aware runs only): breaker
+        trips, fail-slow detections, and retries shrink the global scope
+        — blocks stripe across every disk, so a sick disk is pressure on
+        the shared stream, not on any one node's.  Retry shrinks are
+        rate-limited to one per failure burst (the first retry of a
+        consecutive-failure run), and suppressed entirely once the disk
+        is already blacklisted or flagged slow — the policy is steering
+        around it, so further global shrinking would double-bill the
+        same incident.  Pure arithmetic over pure queries: passive-safe.
+        """
+        reason = _FAULT_SHRINKS.get(kind)
+        if reason is None:
+            return
+        if kind == "retry":
+            resilience = self._resilience
+            if resilience is None:
+                raise InvariantViolation(
+                    "resilience signal delivered without a layer bound"
+                )
+            if not resilience.peek_prefetch(disk_id):
+                return
+            if resilience.is_slow(disk_id):
+                return
+            if resilience.consecutive_failures(disk_id) > 1:
+                return
+        self._global_controller.shrink(reason)
 
     # -- the daemon-facing contract ----------------------------------------------
 
@@ -261,6 +347,35 @@ class AdaptivePolicy(_ClaimingPolicy):
                 self._outstanding_local[key] -= 1
                 self._controllers[key].shrink("write_off")
 
+    def _disk_of(self, block: int) -> int:
+        cache = self.cache
+        if cache is None:
+            raise InvariantViolation("policy used before bind()")
+        return cache.machine.disk_for_block(cache.file.disk_for(block)).disk_id
+
+    def _pick(
+        self, candidates, node_id: int, scope: str
+    ) -> Optional[Tuple[int, int]]:
+        """Reserve the first usable candidate, steering around
+        blacklisted disks on fault-aware runs: candidates whose breaker
+        refuses prefetch (pure ``peek_allow`` — no transition from this
+        passive context) are skipped, rolling the degree slot forward to
+        blocks on healthy disks.  Fail-slow disks are *not* skipped —
+        their blocks must be read eventually, and starting a long fetch
+        early is worth more, not less; the detector damps pressure
+        through the ``fail_slow`` shrink instead.  Without a resilience
+        layer this is exactly first-usable."""
+        for candidate in candidates:
+            if not self._usable(candidate):
+                continue
+            if self._resilience is not None and not (
+                self._resilience.peek_prefetch(self._disk_of(candidate))
+            ):
+                continue
+            self._reserved_scope[candidate] = (node_id, scope)
+            return self._reserve(candidate)
+        return None
+
     def peek(self, node_id: int) -> Optional[Tuple[int, int]]:
         # Local scope first: the node's own stream is the strongest
         # signal when it is classified.
@@ -270,10 +385,9 @@ class AdaptivePolicy(_ClaimingPolicy):
             predictions = self._classifiers[node_id].predict(
                 ctrl.distance, self.file_blocks
             )
-            for candidate in predictions:
-                if self._usable(candidate):
-                    self._reserved_scope[candidate] = (node_id, "local")
-                    return self._reserve(candidate)
+            chosen = self._pick(predictions, node_id, "local")
+            if chosen is not None:
+                return chosen
 
         # Global scope: lead the merged stream, regardless of whose
         # daemon is idle — interprocess prefetching, as in the paper's
@@ -288,10 +402,7 @@ class AdaptivePolicy(_ClaimingPolicy):
                 self._global_run.predict(gctrl.distance, self.file_blocks)
             )
             candidates.extend(self._global.predict(gctrl.distance))
-            for candidate in candidates:
-                if self._usable(candidate):
-                    self._reserved_scope[candidate] = (node_id, "global")
-                    return self._reserve(candidate)
+            return self._pick(candidates, node_id, "global")
         return None
 
     def commit(self, node_id: int, ref_index: int, block: int) -> None:
@@ -318,6 +429,18 @@ class AdaptivePolicy(_ClaimingPolicy):
             self._global_controller.shrink("budget_pressure")
         else:
             self._controllers[node_id].shrink("budget_pressure")
+
+    def suspend(self, node_id: int, ref_index: int, block: int) -> None:
+        """Breaker refusal at the issuing gate.  Fault-aware: release
+        the reservation without the ``budget_pressure`` shrink — the
+        breaker-open signal already charged the fault, and double-billing
+        it as cache backpressure is what makes the fault-oblivious
+        policy strangle itself.  Fault-unaware: original behaviour."""
+        if self._resilience is None:
+            self.abort(node_id, ref_index, block)
+            return
+        _ClaimingPolicy.abort(self, node_id, ref_index, block)
+        self._reserved_scope.pop(block, None)
 
     # -- reporting ---------------------------------------------------------------
 

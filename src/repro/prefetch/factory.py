@@ -114,9 +114,8 @@ def _build_global_portion(
     return GlobalPortionPolicy(config.file_blocks)
 
 
-@register_policy_builder("adaptive")
-def _build_adaptive(
-    config: "ExperimentConfig", pattern: Any, tracker: Any
+def _adaptive_for(
+    config: "ExperimentConfig", fault_aware: bool
 ) -> PrefetchPolicy:
     return AdaptivePolicy(
         config.file_blocks,
@@ -126,9 +125,27 @@ def _build_adaptive(
                 initial_distance=config.adaptive_initial_distance,
                 min_distance=config.adaptive_min_distance,
                 max_distance=config.adaptive_max_distance,
-            )
+            ),
+            fault_aware=fault_aware,
         ),
     )
+
+
+@register_policy_builder("adaptive")
+def _build_adaptive(
+    config: "ExperimentConfig", pattern: Any, tracker: Any
+) -> PrefetchPolicy:
+    return _adaptive_for(config, fault_aware=True)
+
+
+@register_policy_builder("adaptive-nofault")
+def _build_adaptive_nofault(
+    config: "ExperimentConfig", pattern: Any, tracker: Any
+) -> PrefetchPolicy:
+    """The fault-oblivious adaptive policy, kept selectable so chaos
+    tournaments can race fault awareness against its own baseline.  On
+    healthy runs it is schedule-identical to ``adaptive``."""
+    return _adaptive_for(config, fault_aware=False)
 
 
 @register_policy_builder("null")

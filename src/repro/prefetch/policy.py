@@ -73,6 +73,15 @@ class PrefetchPolicy:
         reservation so the candidate can be proposed again later."""
         raise NotImplementedError
 
+    def suspend(self, node_id: int, ref_index: int, block: int) -> None:
+        """The resilience layer refused the candidate (its disk's
+        circuit breaker is open).  Defaults to :meth:`abort`; fault-aware
+        policies override it to release the reservation without booking
+        the refusal as cache backpressure — the disk is sick, the scope
+        did not overreach.
+        """
+        self.abort(node_id, ref_index, block)
+
     def exhausted(self, node_id: int) -> bool:
         """Permanently nothing left to prefetch for ``node_id``."""
         raise NotImplementedError

@@ -44,9 +44,9 @@ def test_spec_skips_lw_portion_cell():
         patterns=("lw", "gw"), sync_styles=("none", "portion")
     )
     cells = list(spec.cells())
-    assert ("lw", "portion") not in cells
-    assert ("lw", "none") in cells
-    assert ("gw", "portion") in cells
+    assert ("lw", "portion", None) not in cells
+    assert ("lw", "none", None) in cells
+    assert ("gw", "portion", None) in cells
 
 
 def test_spec_config_for_none_disables_prefetch():
@@ -151,3 +151,118 @@ def test_progress_callback():
         progress=messages.append,
     )
     assert messages and "cells" in messages[0]
+
+
+# ------------------------------------------------------- chaos (fault axis)
+
+from repro.faults import (  # noqa: E402
+    FailStop,
+    FaultPlan,
+    ResiliencePolicy,
+    TransientErrors,
+)
+
+_RES = ResiliencePolicy(
+    timeout=240.0, max_retries=40, backoff_base=10.0, backoff_max=120.0
+)
+OUTAGE = FaultPlan(
+    faults=(FailStop(disk=0, at=200.0, recover=1600.0),),
+    resilience=_RES,
+    name="outage",
+)
+FLAKY = FaultPlan(
+    faults=(
+        TransientErrors(disk=2, probability=0.4, start=200.0, end=1200.0),
+    ),
+    resilience=_RES,
+    name="flaky",
+)
+
+
+def chaos_spec(**kwargs):
+    kwargs.setdefault("fault_plans", (None, OUTAGE))
+    kwargs.setdefault("policies", (NO_PREFETCH, "adaptive"))
+    return small_spec(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def chaos_tournament():
+    return run_tournament(chaos_spec())
+
+
+def test_fault_axis_validation():
+    with pytest.raises(ValueError):
+        small_spec(fault_plans=())
+    with pytest.raises(ValueError):
+        small_spec(fault_plans=(None, None))
+    with pytest.raises(ValueError):
+        small_spec(fault_plans=(OUTAGE, OUTAGE))
+
+
+def test_base_plan_is_lifted_into_fault_axis():
+    spec = small_spec(base=SMALL.with_overrides(faults=OUTAGE))
+    assert spec.fault_plans == (OUTAGE,)
+    # ...but an explicit axis wins over the base plan.
+    spec = small_spec(
+        base=SMALL.with_overrides(faults=OUTAGE),
+        fault_plans=(None, FLAKY),
+    )
+    assert spec.fault_plans == (None, FLAKY)
+
+
+def test_fault_axis_multiplies_cells(chaos_tournament):
+    spec = chaos_tournament.spec
+    assert len(list(spec.cells())) == 2  # 1 pattern x 1 sync x 2 plans
+    assert len(chaos_tournament.cells) == 4  # x 2 entrants
+    plans = {c.plan for c in chaos_tournament.cells}
+    assert plans == {"none", OUTAGE.digest}
+
+
+def test_faulted_cells_record_fault_measures(chaos_tournament):
+    faulted = [
+        c for c in chaos_tournament.cells if c.plan != "none"
+    ]
+    assert faulted and all(
+        c.result.time_degraded > 0.0 for c in faulted
+    )
+    healthy = [c for c in chaos_tournament.cells if c.plan == "none"]
+    assert healthy and all(
+        c.result.time_degraded == 0.0 for c in healthy
+    )
+
+
+def test_resilience_score_relates_healthy_to_faulted(chaos_tournament):
+    for cell in chaos_tournament.cells:
+        score = chaos_tournament.resilience_score(cell)
+        if cell.plan == "none":
+            assert score is None
+        else:
+            healthy = next(
+                c
+                for c in chaos_tournament.cells
+                if c.plan == "none" and c.policy == cell.policy
+            )
+            assert score == pytest.approx(
+                healthy.result.total_time / cell.result.total_time
+            )
+            assert 0.0 < score <= 1.0
+
+
+def test_chaos_csv_and_render_carry_the_plan(chaos_tournament):
+    csv = chaos_tournament.to_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0] == ",".join(CSV_COLUMNS)
+    assert any(OUTAGE.digest in line for line in lines[1:])
+    assert OUTAGE.digest in chaos_tournament.render()
+
+
+def test_chaos_digest_is_stable_across_reruns(chaos_tournament):
+    assert (
+        run_tournament(chaos_spec()).digest()
+        == chaos_tournament.digest()
+    )
+
+
+def test_chaos_digest_distinguishes_plans(chaos_tournament):
+    other = run_tournament(chaos_spec(fault_plans=(None, FLAKY)))
+    assert other.digest() != chaos_tournament.digest()

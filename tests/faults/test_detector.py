@@ -1,0 +1,157 @@
+"""Unit tests for the online fail-slow detector.
+
+The detector is pure arithmetic (no clock, no randomness), so these
+tests drive it directly with synthetic latency samples: baseline
+learning, the ramp that flags a slowing disk, the hysteresis band that
+holds the flag, recovery that clears it, and the false-positive bound
+that keeps healthy jitter from ever tripping it.  A final pair of
+run-level tests checks the wired-in behaviour: an injected fail-slow
+window is detected mid-run, and clean runs never flag.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.faults import FailSlow, FaultPlan, ResiliencePolicy
+from repro.faults.detector import FailSlowConfig, FailSlowDetector
+
+
+def feed(detector, disk, samples, start=0.0, step=1.0):
+    """Feed latency samples at regular times; return the transitions."""
+    out = []
+    now = start
+    for value in samples:
+        transition = detector.observe(disk, value, now)
+        if transition is not None:
+            out.append((transition, now))
+        now += step
+    return out
+
+
+# ---------------------------------------------------------------- config
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FailSlowConfig(baseline_samples=0)
+    with pytest.raises(ValueError):
+        FailSlowConfig(alpha=0.0)
+    with pytest.raises(ValueError):
+        FailSlowConfig(alpha=1.5)
+    with pytest.raises(ValueError):
+        FailSlowConfig(trip_factor=1.0)
+    with pytest.raises(ValueError):
+        FailSlowConfig(trip_factor=2.0, clear_factor=2.0)
+    with pytest.raises(ValueError):
+        FailSlowConfig(clear_factor=0.5)
+
+
+def test_baseline_learned_from_prefix():
+    detector = FailSlowDetector(FailSlowConfig(baseline_samples=4))
+    assert detector.baseline(0) is None
+    feed(detector, 0, [10.0, 12.0, 8.0])
+    assert detector.baseline(0) is None  # still learning
+    feed(detector, 0, [10.0], start=3.0)
+    assert detector.baseline(0) == pytest.approx(10.0)
+    # Unknown disks report no baseline and are never slow.
+    assert detector.baseline(7) is None
+    assert not detector.is_slow(7)
+
+
+# ------------------------------------------------------------------ ramp
+
+
+def test_ramp_flags_and_recovery_clears():
+    detector = FailSlowDetector(
+        FailSlowConfig(baseline_samples=4, alpha=0.5)
+    )
+    transitions = feed(detector, 0, [10.0] * 4)  # baseline = 10
+    assert transitions == []
+    # Latency ramps to 4x baseline: the EWMA crosses trip_factor (2.0).
+    transitions = feed(detector, 0, [40.0] * 4, start=4.0)
+    assert [t for t, _ in transitions] == ["detected"]
+    assert detector.is_slow(0)
+    assert detector.detections == 1
+    # Recovery: latencies fall back to baseline; EWMA decays below
+    # clear_factor (1.4) and the flag clears, recording the window.
+    transitions = feed(detector, 0, [10.0] * 6, start=8.0)
+    assert [t for t, _ in transitions] == ["cleared"]
+    assert not detector.is_slow(0)
+    windows = detector.slow_windows(0, end=100.0)
+    assert len(windows) == 1
+    start, stop = windows[0]
+    assert 4.0 <= start < stop <= 14.0
+
+
+def test_hysteresis_holds_flag_between_clear_and_trip():
+    detector = FailSlowDetector(
+        FailSlowConfig(
+            baseline_samples=2, alpha=1.0, trip_factor=2.0,
+            clear_factor=1.4,
+        )
+    )
+    feed(detector, 0, [10.0, 10.0])  # baseline = 10
+    assert feed(detector, 0, [25.0], start=2.0) == [("detected", 2.0)]
+    # 1.6x baseline sits inside the band: neither cleared nor re-flagged.
+    assert feed(detector, 0, [16.0, 16.0], start=3.0) == []
+    assert detector.is_slow(0)
+    assert feed(detector, 0, [10.0], start=5.0) == [("cleared", 5.0)]
+
+
+def test_live_flag_closed_at_end():
+    detector = FailSlowDetector(
+        FailSlowConfig(baseline_samples=2, alpha=1.0)
+    )
+    feed(detector, 3, [10.0, 10.0])
+    feed(detector, 3, [30.0], start=2.0)
+    assert detector.is_slow(3)
+    # A still-open flag is closed at the requested horizon.
+    assert detector.slow_windows(3, end=50.0) == [(2.0, 50.0)]
+    assert detector.all_windows(50.0) == [(3, 2.0, 50.0)]
+
+
+def test_false_positive_bound_under_healthy_jitter():
+    """+-20% jitter around the baseline must never trip the detector:
+    the EWMA is a convex combination of samples, all below 1.2x
+    baseline, while the trip factor is 2.0."""
+    detector = FailSlowDetector()
+    jitter = [10.0, 11.8, 8.4, 10.9, 9.2, 12.0, 8.0, 11.5] * 25
+    transitions = feed(detector, 0, jitter)
+    assert transitions == []
+    assert detector.detections == 0
+    assert detector.all_windows(1000.0) == []
+
+
+# ------------------------------------------------------------- run-level
+
+_RES = ResiliencePolicy(
+    timeout=240.0, max_retries=40, backoff_base=10.0, backoff_max=120.0
+)
+
+
+def test_injected_fail_slow_is_detected_mid_run():
+    """A 4x fail-slow window on one disk of an lw run is flagged online
+    (no fault-plan peeking: the detector only sees service latencies)."""
+    plan = FaultPlan(
+        faults=(FailSlow(disk=1, factor=4.0, start=1000.0, end=2500.0),),
+        resilience=_RES,
+    )
+    config = ExperimentConfig(
+        pattern="lw", sync_style="none", n_nodes=8, n_disks=8,
+        file_blocks=640, total_reads=640, faults=plan,
+        record_trace=False,
+    )
+    result = run_experiment(config)
+    assert result.failslow_detections >= 1
+
+
+@pytest.mark.parametrize("pattern", ["lw", "gw", "lfp", "gfp"])
+def test_no_false_positives_on_clean_runs(pattern):
+    plan = FaultPlan(faults=(), resilience=_RES)
+    config = ExperimentConfig(
+        pattern=pattern, sync_style="none", n_nodes=4, n_disks=4,
+        file_blocks=200, total_reads=200, faults=plan,
+        record_trace=False,
+    )
+    result = run_experiment(config)
+    assert result.failslow_detections == 0

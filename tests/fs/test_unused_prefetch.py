@@ -33,28 +33,31 @@ def _prefetch_one(env, machine, cache, policy):
     env.run()
 
 
-def test_fetch_failed_counts_unused_prefetch():
+def test_eviction_counts_unused_prefetch():
     env, machine, file, cache, server, metrics = build_stack()
     policy = _oracle_for(cache)
     events = []
-    cache.unused_prefetch_observer = lambda node, block: events.append(
-        (node, block)
+    cache.unused_prefetch_observer = lambda node, block, reason: (
+        events.append((node, block, reason))
     )
     _prefetch_one(env, machine, cache, policy)
     buf = cache.buffer_for(0)
     assert buf is not None and buf.read_count == 0
 
-    # Re-enter the fetching state and fail it (the fault path).
     cache._evict(buf)
     assert metrics.prefetch_unused_evictions == 1
-    assert events == [(0, 0)]
+    assert metrics.prefetch_write_offs == 0
+    assert events == [(0, 0, "evicted")]
 
 
-def test_fetch_failed_mid_flight_prefetch():
+def test_fetch_failed_mid_flight_prefetch_is_written_off():
+    # Regression: a prefetch killed by a fail-stopped disk must be
+    # booked as a write-off (reason "fetch_failed"), not as an ordinary
+    # unused eviction — and must not linger as a phantom commitment.
     env, machine, file, cache, server, metrics = build_stack()
     events = []
-    cache.unused_prefetch_observer = lambda node, block: events.append(
-        (node, block)
+    cache.unused_prefetch_observer = lambda node, block, reason: (
+        events.append((node, block, reason))
     )
 
     def scenario():
@@ -69,8 +72,9 @@ def test_fetch_failed_mid_flight_prefetch():
 
     env.process(scenario())
     env.run()
-    assert metrics.prefetch_unused_evictions == 1
-    assert events == [(0, 7)]
+    assert metrics.prefetch_write_offs == 1
+    assert metrics.prefetch_unused_evictions == 0
+    assert events == [(0, 7, "fetch_failed")]
     assert cache.unused_prefetched == 0  # budget returned
 
 

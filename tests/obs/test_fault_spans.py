@@ -1,0 +1,110 @@
+"""Fault-lifecycle lanes: resilience state rendered as obs spans.
+
+A faulted, observed run grows one ``("fault", disk)`` lane per disk:
+breaker open/half-open segments replayed from the fault event log,
+fail-slow windows from the detector, and zero-length markers for
+individual error/timeout/retry events.  The lane is assembled after the
+run from state the run already produced, so observing a faulted run
+stays schedule-neutral — the same passivity tentpole the rest of the
+obs suite pins down.
+"""
+
+import pytest
+
+from repro.analysis.audit import run_with_audit
+from repro.experiments.config import ExperimentConfig
+from repro.faults import (
+    FailSlow,
+    FaultPlan,
+    ResiliencePolicy,
+    TransientErrors,
+)
+from repro.obs import run_with_obs, to_perfetto, validate_perfetto
+
+PLAN = FaultPlan(
+    faults=(
+        TransientErrors(disk=2, probability=0.4, start=200.0, end=1200.0),
+        FailSlow(disk=1, factor=5.0, start=300.0, end=1300.0),
+    ),
+    resilience=ResiliencePolicy(
+        timeout=240.0, max_retries=40, backoff_base=10.0, backoff_max=120.0
+    ),
+)
+
+
+def _config(faults=PLAN, **overrides):
+    base = dict(
+        pattern="lw", sync_style="none", policy="adaptive",
+        n_nodes=4, n_disks=4, file_blocks=200, total_reads=200,
+        faults=faults, record_trace=False,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def faulted_obs():
+    return run_with_obs(_config())
+
+
+def test_faulted_run_grows_fault_lanes(faulted_obs):
+    result, data = faulted_obs
+    assert data.fault_disks == [0, 1, 2, 3]
+    fault_spans = [s for s in data.spans.spans if s.track[0] == "fault"]
+    assert fault_spans
+    cats = {s.cat for s in fault_spans}
+    # The transient window produced errors, retries, and at least one
+    # breaker trip; all of them land on the victim disk's lane.
+    assert {"fault:error", "fault:retry", "fault:breaker"} <= cats
+    assert all(s.track[1] in (1, 2) for s in fault_spans)
+
+
+def test_markers_are_instants_and_segments_have_width(faulted_obs):
+    _, data = faulted_obs
+    for span in data.spans.spans:
+        if span.track[0] != "fault":
+            continue
+        if span.cat in ("fault:breaker", "fault:failslow"):
+            assert span.duration > 0.0
+        else:
+            assert span.duration == 0.0
+            assert span.args["attempt"] >= 0
+
+
+def test_breaker_segments_match_degraded_accounting(faulted_obs):
+    """Each breaker segment lies inside the run's degraded intervals
+    (the same machinery feeds ``time_degraded``)."""
+    result, data = faulted_obs
+    assert result.breaker_opens > 0
+    segments = [
+        s for s in data.spans.spans if s.cat == "fault:breaker"
+    ]
+    assert segments
+    assert sum(s.duration for s in segments) <= result.time_degraded
+
+
+def test_healthy_run_has_no_fault_lane():
+    _, data = run_with_obs(_config(faults=None))
+    assert data.fault_disks == []
+    assert not [s for s in data.spans.spans if s.track[0] == "fault"]
+
+
+def test_perfetto_export_names_fault_threads(faulted_obs):
+    _, data = faulted_obs
+    payload = to_perfetto(data)
+    assert validate_perfetto(payload) == []
+    names = [
+        e["args"]["name"]
+        for e in payload["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    for disk_id in data.fault_disks:
+        assert f"fault disk {disk_id}" in names
+
+
+def test_observing_a_faulted_run_is_schedule_neutral():
+    config = _config()
+    off = run_with_audit(config)
+    on = run_with_audit(config, obs=True)
+    assert on.trace_digest == off.trace_digest
+    assert on.result.fault_digest == off.result.fault_digest

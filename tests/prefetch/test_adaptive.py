@@ -251,6 +251,7 @@ class FakeCache:
             ]
         )
         self.unused_prefetch_observer = None
+        self.resilience = None
 
     def contains(self, block):
         return block in self.blocks
@@ -342,7 +343,7 @@ def test_policy_unused_eviction_shrinks_and_unclaims():
     proposal = policy.peek(0)
     policy.commit(0, *proposal)
     assert cache.unused_prefetch_observer is not None
-    cache.unused_prefetch_observer(0, proposal[1])
+    cache.unused_prefetch_observer(0, proposal[1], "evicted")
     assert policy._outstanding_local[0] == 0
     assert policy.signal_counts()["unused_eviction"] == 1
     assert proposal[1] not in policy._claimed  # re-prefetchable

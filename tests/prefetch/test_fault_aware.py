@@ -1,0 +1,90 @@
+"""Fault-aware vs fault-oblivious adaptive prefetching, head to head.
+
+The acceptance criterion for the resilience-signal plumbing: on the
+blessed chaos cells the fault-aware ``adaptive`` policy must finish
+*strictly faster* than ``adaptive-nofault`` (same AIMD controller, no
+resilience signals), and on fault-free runs the two must be
+schedule-identical — fault-awareness costs nothing until a fault
+actually happens.
+
+The blessed cells cover all four fault kinds.  They are cells where
+throttling genuinely pays: long enough outages that blacklisting the
+victim disk redirects prefetch capacity instead of merely delaying it.
+(Known non-wins — very short outages whose breaker cooldown outlives
+the fault, and transient windows on shared-read patterns — are
+documented in docs/faults.md rather than blessed here.)
+"""
+
+import pytest
+
+from repro.analysis.audit import run_with_audit
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.faults import (
+    FailSlow,
+    FailStop,
+    FaultPlan,
+    HotSpot,
+    ResiliencePolicy,
+    TransientErrors,
+)
+
+_RES = ResiliencePolicy(
+    timeout=240.0, max_retries=40, backoff_base=10.0, backoff_max=120.0
+)
+
+BLESSED_CELLS = {
+    "lw-fail-stop": (
+        "lw", FailStop(disk=0, at=200.0, recover=1600.0)
+    ),
+    "lw-fail-slow": (
+        "lw", FailSlow(disk=1, factor=5.0, start=300.0, end=1300.0)
+    ),
+    "gw-transient": (
+        "gw",
+        TransientErrors(disk=2, probability=0.4, start=200.0, end=1200.0),
+    ),
+    "gw-hot-spot": (
+        "gw", HotSpot(disk=3, alpha=1.2, start=200.0, end=1200.0)
+    ),
+}
+
+
+def cell_config(pattern, policy, faults):
+    return ExperimentConfig(
+        pattern=pattern,
+        sync_style="none",
+        policy=policy,
+        n_nodes=4,
+        n_disks=4,
+        file_blocks=200,
+        total_reads=200,
+        faults=faults,
+        record_trace=False,
+    )
+
+
+@pytest.mark.parametrize("cell", sorted(BLESSED_CELLS))
+def test_fault_aware_beats_vanilla_on_blessed_cells(cell):
+    pattern, spec = BLESSED_CELLS[cell]
+    plan = FaultPlan(faults=(spec,), resilience=_RES)
+    aware = run_experiment(cell_config(pattern, "adaptive", plan))
+    vanilla = run_experiment(
+        cell_config(pattern, "adaptive-nofault", plan)
+    )
+    assert aware.total_time < vanilla.total_time, (
+        f"{cell}: fault-aware {aware.total_time:.1f} ms vs "
+        f"vanilla {vanilla.total_time:.1f} ms"
+    )
+
+
+@pytest.mark.parametrize("pattern", ["lw", "gw", "lfp", "gfp"])
+def test_fault_awareness_is_free_on_healthy_runs(pattern):
+    """With no resilience layer wired, `adaptive` and `adaptive-nofault`
+    execute the *same schedule*: identical event-trace digests, not just
+    equal totals."""
+    aware = run_with_audit(cell_config(pattern, "adaptive", None))
+    vanilla = run_with_audit(
+        cell_config(pattern, "adaptive-nofault", None)
+    )
+    assert aware.trace_digest == vanilla.trace_digest
+    assert aware.result.total_time == vanilla.result.total_time

@@ -62,7 +62,7 @@ def test_tournament_command(tmp_path, capsys):
     assert "policy tournament" in out
     assert "standings (cells won):" in out
     assert "adaptive beat no-prefetch in 1/1 cells" in out
-    assert csv_path.read_text().startswith("pattern,sync,policy,")
+    assert csv_path.read_text().startswith("pattern,sync,faults,policy,")
     digest = digest_path.read_text().strip()
     assert len(digest) == 32
     assert f"tournament digest: {digest}" in out
@@ -73,6 +73,74 @@ def test_tournament_digest_check(tmp_path, capsys):
     argv = [
         "tournament", "--patterns", "lw", "--policies", "none", "adaptive",
         *_TOURNAMENT_SMALL,
+    ]
+    assert main([*argv, "--digest-out", str(digest_path)]) == 0
+    capsys.readouterr()
+    assert main([*argv, "--check-digest", str(digest_path)]) == 0
+    assert "digest check: PASS" in capsys.readouterr().out
+    digest_path.write_text("0" * 32 + "\n")
+    assert main([*argv, "--check-digest", str(digest_path)]) == 1
+
+
+def _write_outage_plan(tmp_path):
+    from repro.faults import FailStop, FaultPlan, ResiliencePolicy
+
+    plan = FaultPlan(
+        faults=(FailStop(disk=0, at=200.0, recover=1600.0),),
+        resilience=ResiliencePolicy(
+            timeout=240.0, max_retries=40, backoff_base=10.0,
+            backoff_max=120.0,
+        ),
+        name="outage",
+    )
+    path = tmp_path / "outage.json"
+    plan.save(str(path))
+    return path, plan
+
+
+def test_tournament_fault_plans_axis(tmp_path, capsys):
+    plan_path, plan = _write_outage_plan(tmp_path)
+    csv_path = tmp_path / "league.csv"
+    rc = main([
+        "tournament", "--patterns", "lw", "--policies", "none", "adaptive",
+        "--fault-plans", "none", str(plan_path),
+        "--csv", str(csv_path),
+        *_TOURNAMENT_SMALL,
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # Both the healthy and the faulted slice of the matrix ran...
+    assert plan.digest in out
+    # ...and the faulted rows carry the plan in the CSV.
+    csv = csv_path.read_text()
+    assert plan.digest in csv
+
+
+def test_soak_command(tmp_path, capsys):
+    csv_path = tmp_path / "soak.csv"
+    digest_path = tmp_path / "digest.txt"
+    plans_dir = tmp_path / "plans"
+    rc = main([
+        "soak", "--plans", "2", "--nodes", "4", "--disks", "4",
+        "--file-blocks", "200", "--reads", "200",
+        "--csv", str(csv_path), "--digest-out", str(digest_path),
+        "--save-plans", str(plans_dir),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "chaos soak" in out
+    assert "invariant sweep" in out and "PASS" in out
+    assert csv_path.read_text().startswith("plan,plan_digest,")
+    assert len(digest_path.read_text().strip()) == 32
+    saved = sorted(plans_dir.glob("soak-*.json"))
+    assert len(saved) == 2
+
+
+def test_soak_digest_check(tmp_path, capsys):
+    digest_path = tmp_path / "digest.txt"
+    argv = [
+        "soak", "--plans", "1", "--nodes", "4", "--disks", "4",
+        "--file-blocks", "200", "--reads", "200",
     ]
     assert main([*argv, "--digest-out", str(digest_path)]) == 0
     capsys.readouterr()
