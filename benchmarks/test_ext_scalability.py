@@ -1,8 +1,26 @@
-"""Extension B (paper Section VI future work): processor/disk scaling."""
+"""Extension B (paper Section VI future work): processor/disk scaling.
+
+Two layers of scaling story live here:
+
+* the original figure — prefetch benefit as the *simulated machine*
+  grows past the paper's 20 nodes;
+* the kernel scale sweep — the *simulator's* own throughput from 100 to
+  1000 nodes under both event-queue backends, with per-scale bottleneck
+  attribution (the committed reference numbers are in
+  ``benchmarks/BENCH_scheduler.json``; see docs/perf.md).
+"""
 
 from repro.experiments import ext_scalability
+from repro.obs.attribution import COMPONENTS
+from repro.perf.scale import run_scale_sweep, sweep_bottlenecks
 
 from .conftest import SEED, report_figure
+
+#: Downscaled ladder for the pytest-benchmark run; the committed
+#: artifact uses the full 100 -> 1000 ladder (rapid-transit bench
+#: --schedulers).
+SWEEP_SCALES = (100, 250, 500, 1000)
+SWEEP_READS_PER_NODE = 8
 
 
 def test_ext_scalability(benchmark):
@@ -10,3 +28,62 @@ def test_ext_scalability(benchmark):
         ext_scalability, kwargs={"seed": SEED}, rounds=1, iterations=1
     )
     report_figure(fig)
+
+
+def _assert_sweep_shape(report):
+    entries = report["entries"]
+    assert [e["n_nodes"] for e in entries] == sorted(SWEEP_SCALES)
+    for entry in entries:
+        # Events grow with the machine; throughput stays positive.
+        assert entry["n_events"] > entry["n_nodes"]
+        assert entry["events_per_s"] > 0
+        # Attribution is complete: every budget present, dominant named.
+        assert set(entry["attribution_mean_ms"]) == set(COMPONENTS)
+        assert entry["bottleneck"] in COMPONENTS
+    # Linear workload sizing means events scale roughly linearly.
+    first, last = entries[0], entries[-1]
+    growth = last["n_events"] / first["n_events"]
+    node_growth = last["n_nodes"] / first["n_nodes"]
+    assert 0.5 * node_growth <= growth <= 2.0 * node_growth
+
+
+def test_kernel_scale_sweep_heap(benchmark):
+    report = benchmark.pedantic(
+        run_scale_sweep,
+        kwargs={
+            "scales": SWEEP_SCALES,
+            "seed": SEED,
+            "reads_per_node": SWEEP_READS_PER_NODE,
+            "scheduler": "heap",
+        },
+        rounds=1,
+        iterations=1,
+    )
+    _assert_sweep_shape(report)
+
+
+def test_kernel_scale_sweep_calendar(benchmark):
+    report = benchmark.pedantic(
+        run_scale_sweep,
+        kwargs={
+            "scales": SWEEP_SCALES,
+            "seed": SEED,
+            "reads_per_node": SWEEP_READS_PER_NODE,
+            "scheduler": "calendar",
+        },
+        rounds=1,
+        iterations=1,
+    )
+    _assert_sweep_shape(report)
+    # The backends must tell the same scaling story: identical event
+    # counts and identical per-scale bottleneck attribution.
+    heap = run_scale_sweep(
+        scales=SWEEP_SCALES,
+        seed=SEED,
+        reads_per_node=SWEEP_READS_PER_NODE,
+        scheduler="heap",
+    )
+    assert [e["n_events"] for e in report["entries"]] == [
+        e["n_events"] for e in heap["entries"]
+    ]
+    assert sweep_bottlenecks(report) == sweep_bottlenecks(heap)

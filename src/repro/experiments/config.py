@@ -90,6 +90,16 @@ class ExperimentConfig:
     # the faults and carries the resilience policy used to survive them.
     faults: Optional[FaultPlan] = None
 
+    # Simulation-kernel knobs.  ``scheduler`` picks the event-queue
+    # backend ("heap" = reference binary heap, "calendar" = O(1)
+    # calendar queue; both proven bit-identical, see docs/perf.md).
+    # ``batch_timeouts`` coalesces same-instant fixed-cost timeouts
+    # into shared queue entries — an opt-in sizing knob that changes
+    # the event population (and therefore trace digests) while leaving
+    # determinism intact.
+    scheduler: str = "heap"
+    batch_timeouts: bool = False
+
     # Reproducibility / diagnostics.
     seed: int = 1
     record_trace: bool = True
@@ -136,6 +146,13 @@ class ExperimentConfig:
             raise ValueError("portion_length must be positive")
         if self.portion_stride <= 0:
             raise ValueError("portion_stride must be positive")
+        from ..sim.scheduler import SCHEDULER_NAMES
+
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"known: {list(SCHEDULER_NAMES)}"
+            )
         if self.faults is not None:
             self.faults.validate_for(self.n_disks)
 

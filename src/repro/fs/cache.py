@@ -277,7 +277,7 @@ class BlockCache:
         lock_req = self.metadata_lock.request()
         yield lock_req
         # Hash probe: mostly local with one remote reference.
-        yield self.env.timeout(self._op_time(local_refs=1, remote_refs=1))
+        yield self.env.batched_timeout(self._op_time(local_refs=1, remote_refs=1))
 
         while True:
             buffer = self.table.get(block)
@@ -314,7 +314,7 @@ class BlockCache:
         self.alloc_waits.record(self.env.now - wait_start)
 
         # Allocation + table update: another costed metadata operation.
-        yield self.env.timeout(self._op_time(local_refs=1, remote_refs=2))
+        yield self.env.batched_timeout(self._op_time(local_refs=1, remote_refs=2))
         self._evict(victim)
         ready_event = victim.start_fetch(block, RequestKind.DEMAND, node_id)
         self.table[block] = victim
@@ -322,7 +322,7 @@ class BlockCache:
         self.metadata_lock.release(lock_req)
 
         # Enqueue the disk request (outside the lock).
-        yield self.env.timeout(self.costs.disk_enqueue_time)
+        yield self.env.batched_timeout(self.costs.disk_enqueue_time)
         disk = self.machine.disk_for_block(self.file.disk_for(block))
         self._issue_fetch(disk, block, RequestKind.DEMAND, node_id, victim)
         return LookupOutcome(
@@ -379,7 +379,7 @@ class BlockCache:
     def copy_out(self, buffer: Buffer) -> Generator[Event, None, None]:
         """Copy the block from the (typically remote) buffer to user
         memory, then drop the requester's pin."""
-        yield self.env.timeout(
+        yield self.env.batched_timeout(
             self.costs.block_copy_time * self.memory.contention_multiplier()
         )
         buffer.unpin()
@@ -423,12 +423,12 @@ class BlockCache:
         try:
             # Candidate selection against (possibly slightly stale) shared
             # state: reference-string consultation + progress check.
-            yield self.env.timeout(
+            yield self.env.batched_timeout(
                 self.memory.reference_time(local_refs=2, remote_refs=1)
             )
             candidate = policy.peek(node_id)
             if candidate is None:
-                yield self.env.timeout(self.costs.prefetch_failed_action)
+                yield self.env.batched_timeout(self.costs.prefetch_failed_action)
                 return "no_candidate"
             ref_index, block = candidate
 
@@ -439,19 +439,19 @@ class BlockCache:
                     # let the daemon sit out this idle period, so
                     # prefetch traffic never piles onto a sick disk.
                     policy.suspend(node_id, ref_index, block)
-                    yield self.env.timeout(self.costs.prefetch_failed_action)
+                    yield self.env.batched_timeout(self.costs.prefetch_failed_action)
                     return "suspended"
 
             # Request preparation (buffer search bookkeeping — local in the
             # optimized layout, remote pointer-chasing in the naive one).
-            yield self.env.timeout(
+            yield self.env.batched_timeout(
                 self.costs.prefetch_action_base
                 * self.memory.structure_multiplier()
             )
 
             lock_req = self.metadata_lock.request()
             yield lock_req
-            yield self.env.timeout(self._op_time(local_refs=1, remote_refs=2))
+            yield self.env.batched_timeout(self._op_time(local_refs=1, remote_refs=2))
 
             if block in self.table:
                 # Raced with a demand fetch or another daemon.
@@ -462,14 +462,14 @@ class BlockCache:
             if self.unused_prefetched >= self.unused_limit:
                 policy.abort(node_id, ref_index, block)
                 self.metadata_lock.release(lock_req)
-                yield self.env.timeout(self.costs.prefetch_failed_action)
+                yield self.env.batched_timeout(self.costs.prefetch_failed_action)
                 return "budget_full"
 
             victim = self.replacement.prefetch_victim(self, node_id)
             if victim is None:
                 policy.abort(node_id, ref_index, block)
                 self.metadata_lock.release(lock_req)
-                yield self.env.timeout(self.costs.prefetch_failed_action)
+                yield self.env.batched_timeout(self.costs.prefetch_failed_action)
                 return "no_buffer"
 
             self._evict(victim)
@@ -481,7 +481,7 @@ class BlockCache:
             self.metrics.record_prefetch_issued()
             self.metadata_lock.release(lock_req)
 
-            yield self.env.timeout(self.costs.disk_enqueue_time)
+            yield self.env.batched_timeout(self.costs.disk_enqueue_time)
             disk = self.machine.disk_for_block(self.file.disk_for(block))
             self._issue_fetch(
                 disk, block, RequestKind.PREFETCH, node_id, victim

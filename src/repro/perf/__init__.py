@@ -27,6 +27,7 @@ from __future__ import annotations
 from .cache import RunCache, default_cache_dir, open_cache
 from .digest import canonical_json, code_fingerprint, config_digest, run_key
 from .executor import ExecutionStats, execute_audits, execute_pairs, execute_runs
+from .scale import DEFAULT_SCALES, render_scale_sweep, run_scale_sweep
 from .serialize import (
     result_from_dict,
     result_to_dict,
@@ -35,6 +36,7 @@ from .serialize import (
 )
 
 __all__ = [
+    "DEFAULT_SCALES",
     "ExecutionStats",
     "RunCache",
     "canonical_json",
@@ -45,9 +47,11 @@ __all__ = [
     "execute_pairs",
     "execute_runs",
     "open_cache",
+    "render_scale_sweep",
     "result_from_dict",
     "result_to_dict",
     "results_digest",
     "run_key",
+    "run_scale_sweep",
     "suite_digest",
 ]

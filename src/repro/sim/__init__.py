@@ -2,7 +2,9 @@
 
 A from-scratch, generator-driven simulator (no external dependency) with:
 
-* :class:`~repro.sim.core.Environment` — clock + heap scheduler;
+* :class:`~repro.sim.core.Environment` — clock + pluggable event queue
+  (reference binary heap, or the calendar-queue backend of
+  :mod:`repro.sim.scheduler` — bit-identical order, O(1) amortized);
 * :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
   :class:`~repro.sim.events.AllOf`/:class:`~repro.sim.events.AnyOf`;
 * :class:`~repro.sim.process.Process` with interrupts;
@@ -29,12 +31,22 @@ from .resources import (
     Store,
 )
 from .rng import RandomStreams
+from .scheduler import (
+    SCHEDULER_NAMES,
+    CalendarEventQueue,
+    HeapEventQueue,
+    make_event_queue,
+)
 from .sync import Barrier, CountdownLatch, Gate
 
 __all__ = [
     "Environment",
     "EmptySchedule",
     "StopSimulation",
+    "SCHEDULER_NAMES",
+    "HeapEventQueue",
+    "CalendarEventQueue",
+    "make_event_queue",
     "Event",
     "Timeout",
     "Condition",

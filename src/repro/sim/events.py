@@ -127,7 +127,7 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, priority=NORMAL)
+        self.env.schedule(self, NORMAL)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -138,7 +138,7 @@ class Event:
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, priority=NORMAL)
+        self.env.schedule(self, NORMAL)
         return self
 
     def trigger(self, source: "Event") -> None:
@@ -150,7 +150,7 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = source._ok
         self._value = source._value
-        self.env.schedule(self, priority=NORMAL)
+        self.env.schedule(self, NORMAL)
 
     # -- composition --------------------------------------------------------
 
@@ -175,11 +175,17 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
+        # Timeouts are the single most-constructed event type (every
+        # compute delay, disk service, and fixed-cost file-system op is
+        # one), so the base initializer is inlined: one attribute write
+        # per field, no super() dispatch, no redundant PENDING store.
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env.schedule(self, priority=NORMAL, delay=delay)
+        self._defused = False
+        self.delay = delay
+        env.schedule(self, NORMAL, delay)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
@@ -294,7 +300,7 @@ class Condition(Event):
             self._populate_value(value)
             self._ok = True
             self._value = value
-            self.env.schedule(self, priority=NORMAL)
+            self.env.schedule(self, NORMAL)
 
     @staticmethod
     def all_events(events: list[Event], count: int) -> bool:

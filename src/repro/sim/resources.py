@@ -74,13 +74,16 @@ class BaseRequest(Event):
 class Request(BaseRequest):
     """A claim on one slot of a :class:`Resource`."""
 
-    __slots__ = ("usage_since",)
+    __slots__ = ("usage_since", "_requested_at")
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource)
         #: Simulation time at which the request was granted.
         self.usage_since: Optional[float] = None
-        resource._request_times[id(self)] = resource.env.now
+        #: Simulation time at which the request entered the wait queue
+        #: (carried on the request itself — the former id-keyed side
+        #: table cost a dict insert/pop per request on the hot path).
+        self._requested_at = resource.env.now
         resource._queue.append(self)
         resource._trigger()
 
@@ -88,7 +91,6 @@ class Request(BaseRequest):
         if not self.triggered:
             try:
                 self.resource._queue.remove(self)
-                self.resource._request_times.pop(id(self), None)
             except ValueError:
                 pass
 
@@ -132,7 +134,6 @@ class Resource:
         "total_wait",
         "grants",
         "busy_time",
-        "_request_times",
     )
 
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
@@ -147,7 +148,6 @@ class Resource:
         self.total_wait = 0.0
         self.grants = 0
         self.busy_time = 0.0
-        self._request_times: dict[int, float] = {}
 
     @property
     def count(self) -> int:
@@ -181,9 +181,9 @@ class Resource:
         while self._queue and len(self.users) < self.capacity:
             req = self._queue.popleft()
             self.users.append(req)
-            req.usage_since = self.env.now
-            started = self._request_times.pop(id(req), self.env.now)
-            self.total_wait += self.env.now - started
+            now = self.env.now
+            req.usage_since = now
+            self.total_wait += now - req._requested_at
             self.grants += 1
             req.succeed()
 

@@ -1,0 +1,360 @@
+"""Pluggable event-queue backends for the simulation scheduler.
+
+The environment's run loop only needs three operations from its queue —
+push a ``(time, priority, sequence, event)`` key, pop the smallest key,
+and peek at the next time — so the queue discipline is a swappable
+backend:
+
+* :class:`HeapEventQueue` — the reference implementation: :mod:`heapq`
+  over a plain list.  O(log n) per operation with C-implemented
+  comparisons; this is the backend every digest in the repository's
+  history was produced with.
+* :class:`CalendarEventQueue` — a calendar queue (R. Brown, CACM 1988)
+  with a ladder-style overflow rung.  Events inside the current "year"
+  live in time-partitioned buckets (amortized O(1) enqueue/dequeue);
+  events beyond the year horizon wait in an overflow heap and are
+  promoted a rung at a time as the calendar advances, so skewed event
+  horizons cannot bloat the bucket array.
+
+Both backends serve keys in the exact same total order — ascending
+``(time, priority, sequence)`` — which is the property the equivalence
+suite proves by comparing event-trace digests between backends (see
+``tests/sim/test_scheduler.py`` and docs/perf.md).  Everything here is
+deterministic by construction: no randomness, no wall clock, no
+iteration over unordered containers.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from heapq import heappop, heappush
+from math import inf
+from typing import TYPE_CHECKING, Callable, List, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .events import Event
+
+__all__ = [
+    "SCHEDULER_NAMES",
+    "EventKey",
+    "HeapEventQueue",
+    "CalendarEventQueue",
+    "make_event_queue",
+]
+
+#: The scheduler's ordering key: ``(time, priority, sequence, event)``.
+#: The sequence number is unique, so the event itself is never compared.
+EventKey = Tuple[float, int, int, "Event"]
+
+#: Names accepted by :func:`make_event_queue` (and every ``--scheduler``
+#: flag); "heap" is the reference backend.
+SCHEDULER_NAMES: Tuple[str, ...] = ("heap", "calendar")
+
+
+class HeapEventQueue:
+    """Reference backend: a binary heap via :mod:`heapq`.
+
+    ``push``/``pop`` are :func:`functools.partial` bindings of the C
+    heap primitives to the backing list, so going through the backend
+    costs no Python-level wrapper frame on the hot path.
+    """
+
+    __slots__ = ("_heap", "push", "pop")
+
+    push: Callable[[EventKey], None]
+    pop: Callable[[], EventKey]
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._heap: List[EventKey] = []
+        self.push = partial(heappush, self._heap)
+        self.pop = partial(heappop, self._heap)
+
+    def peek_time(self) -> float:
+        """Time of the smallest key, or ``inf`` when empty."""
+        return self._heap[0][0] if self._heap else inf
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class CalendarEventQueue:
+    """Calendar queue with an overflow rung for far-future events.
+
+    The calendar covers one *year* ``[year_start, year_end)`` split into
+    ``n_buckets`` buckets of ``width`` ms each.  A key inside the year
+    goes to bucket ``int((t - year_start) / width)``; keys at or beyond
+    ``year_end`` wait in the overflow heap (the ladder rung).  Because a
+    single year holds no wrapped-around future events, the bucket
+    partition is monotone in time and the global minimum is simply the
+    top of the first non-empty bucket at or after the cursor — ties at
+    one instant land in one bucket, where a per-bucket heap orders them
+    by the full ``(time, priority, sequence)`` key.  Dequeue order is
+    therefore *identical* to the reference heap's.
+
+    When the calendar drains, the next year is re-anchored directly at
+    the overflow minimum (a ladder jump over any empty horizon) and one
+    year's worth of overflow is promoted into buckets.  The bucket count
+    adapts to the queue population (doubling/halving on size
+    thresholds), and the bucket width is re-estimated at each resize
+    from the spacing of the earliest events, per Brown's heuristic.
+
+    The structure accepts pushes at any time ≥ ``year_start`` without
+    restriction; a push below the last-popped time merely rewinds the
+    scan cursor (correct, just slower), and a push below ``year_start``
+    triggers a deterministic rebase.
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_n_buckets",
+        "_width",
+        "_year_start",
+        "_year_end",
+        "_cursor",
+        "_cal_size",
+        "_overflow",
+        "_size",
+        "_grow_at",
+        "_shrink_at",
+    )
+
+    #: Bucket-count bounds; MIN keeps tiny runs cheap to scan, MAX bounds
+    #: rebuild cost for million-event machines.
+    MIN_BUCKETS = 32
+    MAX_BUCKETS = 1 << 15
+
+    #: Width = this multiple of the mean head-event spacing (Brown's
+    #: rule of thumb: a few events per bucket).
+    WIDTH_FACTOR = 3.0
+
+    #: How many head events the width estimate samples at a resize.
+    WIDTH_SAMPLE = 64
+
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        bucket_width: float = 1.0,
+        n_buckets: int = MIN_BUCKETS,
+    ) -> None:
+        if bucket_width <= 0.0:
+            raise ValueError(f"bucket_width {bucket_width} must be positive")
+        if n_buckets <= 0:
+            raise ValueError(f"n_buckets {n_buckets} must be positive")
+        self._n_buckets = n_buckets
+        self._width = float(bucket_width)
+        self._buckets: List[List[EventKey]] = [[] for _ in range(n_buckets)]
+        self._year_start = float(start_time)
+        self._year_end = self._year_start + n_buckets * self._width
+        self._cursor = 0
+        self._cal_size = 0
+        self._overflow: List[EventKey] = []
+        self._size = 0
+        self._set_thresholds()
+
+    # -- sizing ---------------------------------------------------------------
+
+    def _set_thresholds(self) -> None:
+        self._grow_at = 2 * self._n_buckets
+        self._shrink_at = (
+            self._n_buckets // 2 if self._n_buckets > self.MIN_BUCKETS else 0
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def n_buckets(self) -> int:
+        """Current bucket count (diagnostics/tests)."""
+        return self._n_buckets
+
+    @property
+    def bucket_width(self) -> float:
+        """Current bucket width in ms (diagnostics/tests)."""
+        return self._width
+
+    @property
+    def overflow_count(self) -> int:
+        """Keys waiting in the overflow rung (diagnostics/tests)."""
+        return len(self._overflow)
+
+    # -- core operations ------------------------------------------------------
+
+    def push(self, item: EventKey) -> None:
+        """Insert one key.  Amortized O(1)."""
+        t = item[0]
+        self._size += 1
+        if t >= self._year_end:
+            heappush(self._overflow, item)
+        else:
+            if t < self._year_start:
+                # Defensive: the DES never schedules into the past, but
+                # the structure stays correct for arbitrary use —
+                # re-anchor the year at the new minimum.
+                self._rebuild(self._n_buckets, self._width, t)
+            i = int((t - self._year_start) / self._width)
+            if i >= self._n_buckets:  # float boundary round-up
+                i = self._n_buckets - 1
+            heappush(self._buckets[i], item)
+            self._cal_size += 1
+            if i < self._cursor:
+                self._cursor = i
+        # Grow on total population (overflow included): a rung-heavy
+        # queue must still widen its calendar, or promotion years would
+        # land thousands of keys in a handful of buckets.
+        if self._size > self._grow_at and self._n_buckets < self.MAX_BUCKETS:
+            self._resize(self._n_buckets * 2)
+
+    def pop(self) -> EventKey:
+        """Remove and return the smallest key.  Amortized O(1).
+
+        Raises :class:`IndexError` when empty (mirroring ``heappop``).
+        """
+        if self._size == 0:
+            raise IndexError("pop from an empty calendar queue")
+        if self._cal_size == 0:
+            self._advance_year()
+        buckets = self._buckets
+        i = self._cursor
+        while not buckets[i]:
+            i += 1
+        item = heappop(buckets[i])
+        self._cursor = i
+        self._cal_size -= 1
+        self._size -= 1
+        if self._size < self._shrink_at:
+            self._resize(max(self.MIN_BUCKETS, self._n_buckets // 2))
+        return item
+
+    def peek_time(self) -> float:
+        """Time of the smallest key, or ``inf`` when empty.  Read-only."""
+        if self._size == 0:
+            return inf
+        if self._cal_size:
+            buckets = self._buckets
+            i = self._cursor
+            while not buckets[i]:
+                i += 1
+            return buckets[i][0][0]
+        return self._overflow[0][0]
+
+    # -- year advance (the ladder jump) ---------------------------------------
+
+    def _advance_year(self) -> None:
+        """Re-anchor the calendar at the overflow minimum and promote
+        one year's worth of overflow keys into buckets."""
+        overflow = self._overflow
+        start = overflow[0][0]
+        width = self._width
+        n = self._n_buckets
+        end = start + n * width
+        self._year_start = start
+        self._year_end = end
+        self._cursor = 0
+        buckets = self._buckets
+        while overflow and overflow[0][0] < end:
+            item = heappop(overflow)
+            i = int((item[0] - start) / width)
+            if i >= n:
+                i = n - 1
+            heappush(buckets[i], item)
+            self._cal_size += 1
+        if self._cal_size == 0:
+            # Degenerate float geometry (e.g. a year span that rounds to
+            # zero against a huge clock): force-promote the global
+            # minimum so the pop scan always finds it.  Still exact —
+            # the promoted key is the overflow heap's minimum.
+            heappush(buckets[0], heappop(overflow))
+            self._cal_size = 1
+
+    # -- resizing -------------------------------------------------------------
+
+    def _resize(self, n_buckets: int) -> None:
+        if n_buckets == self._n_buckets:
+            return
+        self._rebuild(n_buckets, self._estimate_width(), self._floor_time())
+
+    def _floor_time(self) -> float:
+        """Earliest key time in the calendar (year anchor for rebuilds)."""
+        floor = inf
+        for bucket in self._buckets:
+            if bucket and bucket[0][0] < floor:
+                floor = bucket[0][0]
+        if floor is inf:
+            floor = (
+                self._overflow[0][0] if self._overflow else self._year_start
+            )
+        return floor
+
+    def _estimate_width(self) -> float:
+        """Brown-style width: a small multiple of the mean spacing of the
+        earliest events.  Falls back to the current width when there are
+        too few events (or they are all simultaneous) to estimate from."""
+        times: List[float] = []
+        for bucket in self._buckets:
+            for item in bucket:
+                times.append(item[0])
+        times.sort()
+        sample = times[: self.WIDTH_SAMPLE]
+        if len(sample) < 2:
+            return self._width
+        span = sample[-1] - sample[0]
+        if span <= 0.0:
+            return self._width
+        return self.WIDTH_FACTOR * span / (len(sample) - 1)
+
+    def _rebuild(
+        self, n_buckets: int, width: float, year_start: float
+    ) -> None:
+        """Re-bucket every in-calendar key under new geometry."""
+        items: List[EventKey] = []
+        for bucket in self._buckets:
+            items.extend(bucket)
+        self._n_buckets = n_buckets
+        self._width = width
+        self._buckets = [[] for _ in range(n_buckets)]
+        self._year_start = year_start
+        self._year_end = year_start + n_buckets * width
+        self._cursor = 0
+        self._cal_size = 0
+        self._set_thresholds()
+        end = self._year_end
+        overflow = self._overflow
+        buckets = self._buckets
+        for item in items:
+            t = item[0]
+            if t >= end:
+                heappush(overflow, item)
+                continue
+            i = int((t - year_start) / width)
+            if i >= n_buckets:
+                i = n_buckets - 1
+            heappush(buckets[i], item)
+            self._cal_size += 1
+        # The new year may cover times the old overflow rung holds (a
+        # rebuild can anchor *at* the overflow minimum when the calendar
+        # side was empty).  Promote those keys, or the rung would hide
+        # keys smaller than the buckets' — the one way this structure
+        # could ever pop out of order.
+        while overflow and overflow[0][0] < end:
+            item = heappop(overflow)
+            i = int((item[0] - year_start) / width)
+            if i >= n_buckets:
+                i = n_buckets - 1
+            heappush(buckets[i], item)
+            self._cal_size += 1
+
+
+#: Either backend; the environment dispatches through bound ``push``/
+#: ``pop`` so the union never appears on the hot path.
+AnyEventQueue = Union[HeapEventQueue, CalendarEventQueue]
+
+
+def make_event_queue(name: str, start_time: float = 0.0) -> AnyEventQueue:
+    """Construct the backend named ``name`` (one of ``SCHEDULER_NAMES``)."""
+    if name == "heap":
+        return HeapEventQueue(start_time)
+    if name == "calendar":
+        return CalendarEventQueue(start_time)
+    raise ValueError(
+        f"unknown scheduler {name!r}; known: {list(SCHEDULER_NAMES)}"
+    )
