@@ -72,6 +72,7 @@ from .experiments import (
     ablation_replacement,
     chaos_fail_stop,
     chaos_prefetch_under_faults,
+    chaos_writeback_fail_slow,
     ext_disk_sensitivity,
     ext_hybrid_patterns,
     fig1_uneven_benefit,
@@ -118,7 +119,7 @@ from .metrics.report import (
     render_table,
 )
 from .prefetch.factory import policy_choices
-from .workload.patterns import PATTERN_NAMES
+from .workload.patterns import ALL_PATTERN_NAMES, PATTERN_NAMES
 from .workload.synchronization import SYNC_STYLES
 
 __all__ = ["main"]
@@ -158,6 +159,7 @@ _STANDALONE_FIGURES = {
     "abl-layout": ablation_file_layout,
     "chaos": chaos_prefetch_under_faults,
     "chaos-failstop": chaos_fail_stop,
+    "chaos-writeback": chaos_writeback_fail_slow,
 }
 
 FIGURE_IDS = sorted(
@@ -258,6 +260,28 @@ def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_write_flags(parser: argparse.ArgumentParser) -> None:
+    """Write-path knobs (meaningful only on read-write patterns)."""
+    from .fs.writeback import WRITE_MODES
+
+    parser.add_argument(
+        "--write-mode", choices=WRITE_MODES, default="write-back",
+        help="write-back (flusher daemon + dirty-ratio throttle) or "
+        "write-through (every write flushed synchronously); ignored on "
+        "read-only patterns",
+    )
+    parser.add_argument(
+        "--dirty-ratio", type=float, default=0.5, metavar="R",
+        help="foreground throttle threshold as a fraction of cache "
+        "buffers (Linux vm.dirty_ratio; default 0.5)",
+    )
+    parser.add_argument(
+        "--dirty-background-ratio", type=float, default=0.25, metavar="R",
+        help="background flusher threshold (Linux "
+        "vm.dirty_background_ratio; default 0.25)",
+    )
+
+
 def _open_cache(args: argparse.Namespace):
     """The run cache the perf flags select (None = caching off)."""
     from .perf.cache import open_cache
@@ -312,6 +336,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=faults,
         scheduler=args.scheduler,
         batch_timeouts=args.batch_timeouts,
+        write_mode=args.write_mode,
+        dirty_ratio=args.dirty_ratio,
+        dirty_background_ratio=args.dirty_background_ratio,
     )
     audits = []
     cache = None
@@ -360,6 +387,9 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         faults=_load_faults(args),
         scheduler=args.scheduler,
         batch_timeouts=args.batch_timeouts,
+        write_mode=args.write_mode,
+        dirty_ratio=args.dirty_ratio,
+        dirty_background_ratio=args.dirty_background_ratio,
     )
     verdicts = execute_audits(
         [config, config.paired_baseline()], jobs=args.jobs, obs=args.obs
@@ -823,10 +853,13 @@ def _cmd_trace_synth(args: argparse.Namespace) -> int:
         seed=args.seed,
         compute_mean=args.compute,
         sync_every=args.sync_every,
+        write_fraction=args.write_fraction,
     )
     trace.save(args.output)
+    n_writes = sum(1 for r in trace if r.op == "w")
+    mix = f" ({n_writes} writes)" if n_writes else ""
     print(
-        f"synthesized '{args.kind}' trace: {len(trace)} reads on "
+        f"synthesized '{args.kind}' trace: {len(trace)} accesses{mix} on "
         f"{args.nodes} nodes (seed {args.seed}) -> {args.output}"
     )
     return 0
@@ -1104,7 +1137,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run one experiment cell (paired)")
-    p_run.add_argument("--pattern", choices=PATTERN_NAMES, default="gw")
+    p_run.add_argument(
+        "--pattern", choices=ALL_PATTERN_NAMES, default="gw",
+        help="access pattern: the paper's six read-only names or a "
+        "read-write cell (lfp-rw, gw-rw, wstream)",
+    )
     p_run.add_argument("--sync", choices=SYNC_STYLES, default="per-proc")
     p_run.add_argument("--compute", type=float, default=30.0,
                        help="mean per-block compute time (ms)")
@@ -1131,6 +1168,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="PLAN.json",
         help="fault plan to inject (see 'faults make')",
     )
+    _add_write_flags(p_run)
     _add_scheduler_flags(p_run)
     _add_perf_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
@@ -1139,7 +1177,9 @@ def build_parser() -> argparse.ArgumentParser:
         "audit",
         help="determinism audit: run twice, diff event-trace hashes",
     )
-    p_audit.add_argument("--pattern", choices=PATTERN_NAMES, default="gw")
+    p_audit.add_argument(
+        "--pattern", choices=ALL_PATTERN_NAMES, default="gw"
+    )
     p_audit.add_argument("--sync", choices=SYNC_STYLES, default="per-proc")
     p_audit.add_argument("--compute", type=float, default=30.0)
     p_audit.add_argument("--seed", type=int, default=1)
@@ -1154,6 +1194,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="PLAN.json",
         help="audit determinism of a faulted run",
     )
+    _add_write_flags(p_audit)
     p_audit.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="audit the prefetch and baseline cells in parallel "
@@ -1179,9 +1220,11 @@ def build_parser() -> argparse.ArgumentParser:
         "and print the league table",
     )
     p_tour.add_argument(
-        "--patterns", nargs="+", choices=PATTERN_NAMES,
+        "--patterns", nargs="+", choices=ALL_PATTERN_NAMES,
         default=list(PATTERN_NAMES), metavar="PATTERN",
-        help=f"patterns to race over (default: all of {PATTERN_NAMES})",
+        help=f"patterns to race over (default: all of {PATTERN_NAMES}; "
+        "read-write cells lfp-rw/gw-rw/wstream race with the writeback "
+        "subsystem armed)",
     )
     p_tour.add_argument(
         "--sync", nargs="+", choices=SYNC_STYLES, default=["none"],
@@ -1439,6 +1482,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument("--seed", type=int, default=1)
     p_synth.add_argument("--compute", type=float, default=30.0)
     p_synth.add_argument(
+        "--write-fraction", type=float, default=0.0, metavar="F",
+        help="convert this fraction of each node's accesses into "
+        "whole-block writes (0 = read-only, the default)",
+    )
+    p_synth.add_argument(
         "--sync-every", type=int, default=0,
         help="barrier visit after every N reads per node (0 = none)",
     )
@@ -1471,7 +1519,7 @@ def build_parser() -> argparse.ArgumentParser:
         verbs are exploratory tools, and a 4x4 cell already exhibits
         every span kind.
         """
-        p.add_argument("--pattern", choices=PATTERN_NAMES, default="gw")
+        p.add_argument("--pattern", choices=ALL_PATTERN_NAMES, default="gw")
         p.add_argument("--sync", choices=SYNC_STYLES, default="per-proc")
         p.add_argument("--compute", type=float, default=30.0)
         p.add_argument("--seed", type=int, default=1)

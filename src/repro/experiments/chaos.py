@@ -21,6 +21,14 @@ quarter of the healthy run time (with recovery at three quarters) and
 checks that the run completes, that execution time degrades, and that
 disks other than the victim see no retries at all — failure isolation,
 asserted again in ``tests/faults/test_degraded.py``.
+
+A third, :func:`chaos_writeback_fail_slow`, drives a *read-write*
+pattern while one disk fail-slows mid-run: background and eviction
+flushes aimed at the sick disk time out and retry through the same
+resilience layer demand reads use, dirty blocks pile up behind the slow
+writebacks, and the run must still complete with the slowdown visible in
+``time_degraded`` — the write path inherits the fault story, it does not
+get its own.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..faults.plan import (
+    FailSlow,
     FailStop,
     FaultPlan,
     ResiliencePolicy,
@@ -42,6 +51,7 @@ __all__ = [
     "chaos_config",
     "chaos_prefetch_under_faults",
     "chaos_fail_stop",
+    "chaos_writeback_fail_slow",
 ]
 
 #: Per-completion transient-error probabilities swept by the chaos figure.
@@ -270,4 +280,102 @@ def chaos_fail_stop(
         notes="Demand reads aimed at the dead disk time out, back off and "
         "re-issue until recovery; the breaker keeps prefetch off the "
         "victim so healthy disks never see retry traffic.",
+    )
+
+
+def chaos_writeback_fail_slow(
+    pattern: str = "lfp-rw", seed: int = 1, jobs: int = 1, cache=None
+) -> FigureData:
+    """One disk fail-slows mid-run while a read-write workload dirties
+    the cache: writeback traffic must survive the slowdown.
+
+    The healthy read-write run is measured first to place the slow
+    window at [25%, 75%] of its span and to calibrate the request
+    timeout: 2.5x the healthy mean disk response sits far above any
+    healthy completion but well under the x6 slowdown, so requests —
+    demand reads *and* writebacks, which share the resilience layer —
+    aimed at the sick disk time out, back off, and retry, while healthy
+    disks never trip.  Dirty blocks queue up behind the slow flushes
+    (the sick disk serves a stripe of every node's blocks), so the
+    dirty peak and throttle pressure rise with the fault; the checks
+    pin the qualitative story, not magnitudes.
+    """
+    from ..perf.executor import execute_runs
+
+    healthy = execute_runs(
+        [chaos_config(pattern, 0.0, seed=seed)], cache=cache
+    )[0]
+    span = healthy.total_time
+    victim = 0
+    plan = FaultPlan(
+        faults=(
+            FailSlow(
+                disk=victim,
+                factor=6.0,
+                start=0.25 * span,
+                end=0.75 * span,
+            ),
+        ),
+        resilience=ResiliencePolicy(
+            timeout=max(2.5 * healthy.disk_response_mean, 40.0),
+            max_retries=40,
+            backoff_base=10.0,
+            backoff_max=120.0,
+        ),
+        name=f"writeback-fail-slow-disk{victim}",
+    )
+    faulted = execute_runs(
+        [chaos_config(pattern, 0.0, seed=seed, faults=plan)], cache=cache
+    )[0]
+    rows = [
+        (
+            "healthy",
+            healthy.total_time,
+            healthy.total_writes,
+            healthy.flush_count,
+            healthy.flush_failures,
+            healthy.dirty_peak,
+            healthy.throttle_stall_time,
+            healthy.disk_retries,
+            healthy.time_degraded,
+        ),
+        (
+            "fail-slow",
+            faulted.total_time,
+            faulted.total_writes,
+            faulted.flush_count,
+            faulted.flush_failures,
+            faulted.dirty_peak,
+            faulted.throttle_stall_time,
+            faulted.disk_retries,
+            faulted.time_degraded,
+        ),
+    ]
+    return FigureData(
+        figure_id="chaos-writeback",
+        title=f"Writeback under fail-slow of disk {victim} "
+        f"during a {pattern} run",
+        columns=[
+            "scenario",
+            "total (ms)",
+            "writes",
+            "flushes",
+            "flush failures",
+            "dirty peak",
+            "throttle stall (ms)",
+            "retries",
+            "degraded (ms)",
+        ],
+        rows=rows,
+        checks={
+            "run_completes": faulted.total_time > 0.0,
+            "writes_flushed": faulted.flush_count > 0,
+            "faults_observed": faulted.disk_retries > 0,
+            "slowdown_detected": faulted.time_degraded > 0.0,
+            "execution_degrades": faulted.total_time > healthy.total_time,
+            "no_foreground_write_deaths": faulted.flush_failures == 0,
+        },
+        notes="Writebacks retry through the same supervised path demand "
+        "reads use; a flush failure would re-dirty the block and retry "
+        "later, and none should exhaust the budget at this severity.",
     )

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 from ..faults.plan import FaultPlan
+from ..fs.writeback import WRITE_MODES
 from ..machine.costs import CostModel
-from ..workload.patterns import PATTERN_NAMES
+from ..workload.patterns import ALL_PATTERN_NAMES
 from ..workload.synchronization import SYNC_STYLES
 
 __all__ = ["ExperimentConfig"]
@@ -86,6 +87,17 @@ class ExperimentConfig:
     per_proc_k: int = 10
     total_k: int = 200
 
+    # Write path (meaningful only for read-write patterns; read-only
+    # runs never arm the writeback machinery — see docs/writes.md).
+    #: "write-back" (flusher daemon + dirty-ratio throttle) or
+    #: "write-through" (every write flushed synchronously).
+    write_mode: str = "write-back"
+    #: Foreground throttle threshold as a fraction of cache buffers
+    #: (Linux ``vm.dirty_ratio``).
+    dirty_ratio: float = 0.5
+    #: Background flusher threshold (Linux ``vm.dirty_background_ratio``).
+    dirty_background_ratio: float = 0.25
+
     # Fault injection (None = healthy machine).  A plan both schedules
     # the faults and carries the resilience policy used to survive them.
     faults: Optional[FaultPlan] = None
@@ -105,8 +117,9 @@ class ExperimentConfig:
     record_trace: bool = True
 
     def __post_init__(self) -> None:
-        if self.pattern not in PATTERN_NAMES and not self.pattern.startswith(
-            "trace:"
+        if (
+            self.pattern not in ALL_PATTERN_NAMES
+            and not self.pattern.startswith("trace:")
         ):
             raise ValueError(f"unknown pattern {self.pattern!r}")
         if self.sync_style not in SYNC_STYLES + ("replay",):
@@ -152,6 +165,17 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r}; "
                 f"known: {list(SCHEDULER_NAMES)}"
+            )
+        if self.write_mode not in WRITE_MODES:
+            raise ValueError(
+                f"unknown write mode {self.write_mode!r}; "
+                f"pick from {WRITE_MODES}"
+            )
+        if not 0.0 < self.dirty_ratio <= 1.0:
+            raise ValueError("dirty_ratio must be in (0, 1]")
+        if not 0.0 <= self.dirty_background_ratio <= self.dirty_ratio:
+            raise ValueError(
+                "need 0 <= dirty_background_ratio <= dirty_ratio"
             )
         if self.faults is not None:
             self.faults.validate_for(self.n_disks)

@@ -21,6 +21,7 @@ from ..fs.file import File
 from ..fs.fileserver import FileServer
 from ..fs.layout import HashedLayout, RoundRobinLayout, StripedLayout
 from ..fs.trace import Trace
+from ..fs.writeback import WritebackConfig, WritebackDaemon
 from ..machine.machine import Machine, MachineConfig
 from ..machine.node import IdleKind
 from ..metrics.collector import RunMetrics
@@ -148,6 +149,25 @@ class RunResult:
     #: Events scheduled by the run's environment (the benchmark
     #: harness's throughput denominator).
     n_events: int = 0
+
+    # Write path (all zero / empty on read-only runs; docs/writes.md).
+    total_writes: int = 0
+    write_avg: float = 0.0
+    write_p50: float = 0.0
+    write_p99: float = 0.0
+    #: High-water mark of the dirty-block count.
+    dirty_peak: int = 0
+    #: Writebacks started, over all reasons.
+    flush_count: int = 0
+    flushes_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Writebacks that exhausted their retries (block stayed dirty).
+    flush_failures: int = 0
+    #: Total / count of foreground dirty-ratio stalls.
+    throttle_stall_time: float = 0.0
+    throttle_stall_count: int = 0
+    #: Flusher-daemon action outcomes (the writeback twin of
+    #: ``prefetch_outcomes``).
+    flush_outcomes: Dict[str, int] = field(default_factory=dict)
 
     # Fault injection (all zero / empty on healthy runs).
     disk_errors: int = 0
@@ -331,6 +351,20 @@ def run_materialized(
         for node in machine.nodes:
             PrefetchDaemon(node, cache, policy, metrics, daemon_config)
 
+    # Write path: armed only when the pattern actually writes, so
+    # read-only runs are event-for-event identical to the pre-write
+    # simulator (the proof-of-preservation hinge; docs/writes.md).
+    if getattr(pattern, "has_writes", False):
+        writeback = WritebackConfig(
+            write_mode=config.write_mode,
+            dirty_ratio=config.dirty_ratio,
+            dirty_background_ratio=config.dirty_background_ratio,
+        )
+        cache.configure_writeback(writeback)
+        if writeback.write_mode == "write-back":
+            for node in machine.nodes:
+                WritebackDaemon(node, cache, metrics, writeback)
+
     if instrument is not None:
         instrument.on_wired(env, machine, cache)
 
@@ -455,6 +489,21 @@ def run_materialized(
         else 0.0,
         prefetch_unused_evicted=metrics.prefetch_unused_evictions,
         prefetch_unused_at_end=cache.unused_prefetched,
+        total_writes=metrics.total_writes,
+        write_avg=metrics.avg_write_time,
+        write_p50=metrics.write_times.percentile(50.0)
+        if metrics.write_times.count
+        else 0.0,
+        write_p99=metrics.write_times.percentile(99.0)
+        if metrics.write_times.count
+        else 0.0,
+        dirty_peak=metrics.dirty_peak,
+        flush_count=metrics.flush_count,
+        flushes_by_reason=dict(metrics.flushes_by_reason),
+        flush_failures=metrics.flush_failures,
+        throttle_stall_time=metrics.throttle_stall_time,
+        throttle_stall_count=metrics.throttle_stalls.count,
+        flush_outcomes=dict(metrics.flush_outcomes),
         adaptive_distance_trajectory=distance_trajectory,
         adaptive_distance_summary=distance_summary,
         node_attribution=node_attribution,

@@ -10,6 +10,11 @@ name resolves through the shared policy factory
 (:mod:`repro.prefetch.factory`), so oracles, on-the-fly predictors, and
 the adaptive policy race under one flag.
 
+``patterns`` accepts the read-write cells too (``lfp-rw``, ``gw-rw``,
+``wstream``): in those cells every entrant races with the writeback
+subsystem armed, so the league table shows how each policy's readahead
+coexists with flusher competition and dirty-ratio throttling.
+
 The matrix has a third axis: **fault plans**.  ``fault_plans`` defaults
 to a single healthy machine, but a chaos tournament lists several
 :class:`~repro.faults.plan.FaultPlan`\\ s (``None`` = healthy) and every
@@ -37,7 +42,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..faults.plan import FaultPlan
 from ..metrics.report import LEAGUE_COLUMNS, league_row, render_table
-from ..workload.patterns import PATTERN_NAMES
+from ..workload.patterns import ALL_PATTERN_NAMES, PATTERN_NAMES
 from ..workload.synchronization import SYNC_STYLES
 from .config import ExperimentConfig
 from .runner import RunResult
@@ -117,7 +122,7 @@ class TournamentSpec:
         if len(self.policies) < 2:
             raise ValueError("tournament needs at least two entrants")
         for pattern in self.patterns:
-            if pattern not in PATTERN_NAMES:
+            if pattern not in ALL_PATTERN_NAMES:
                 raise ValueError(f"unknown pattern {pattern!r}")
         for sync in self.sync_styles:
             if sync not in SYNC_STYLES:

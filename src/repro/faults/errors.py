@@ -6,7 +6,7 @@ Kept dependency-free so that any layer (``fs``, ``machine``,
 
 from __future__ import annotations
 
-__all__ = ["FaultPlanError", "ReadFailedError"]
+__all__ = ["FaultPlanError", "ReadFailedError", "WriteFailedError"]
 
 
 class FaultPlanError(ValueError):
@@ -20,4 +20,14 @@ class ReadFailedError(RuntimeError):
 
     Raised *into* any process waiting on the buffer's ready event, so
     retry exhaustion surfaces to the application rather than hanging it.
+    """
+
+
+class WriteFailedError(RuntimeError):
+    """A block write failed permanently: either the read I/O an unready
+    write was waiting on died, or a *synchronous* flush (write-through /
+    throttle / eviction-forced) exhausted its retries.  Background flush
+    failures are not fatal — the block stays dirty and is retried later —
+    so this only surfaces where a foreground process was stalled on the
+    write (see docs/writes.md).
     """

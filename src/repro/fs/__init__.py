@@ -6,17 +6,20 @@
 * :mod:`~repro.fs.replacement` — per-processor RU-set replacement;
 * :mod:`~repro.fs.cache` — the shared block cache with demand and prefetch
   paths, metadata-lock contention, and the global prefetched-unused budget;
-* :mod:`~repro.fs.fileserver` — the application-facing read path;
+* :mod:`~repro.fs.fileserver` — the application-facing read/write paths;
+* :mod:`~repro.fs.writeback` — dirty-block flusher daemon and the
+  dirty-ratio throttling model (docs/writes.md);
 * :mod:`~repro.fs.trace` — access-trace recording for offline analysis.
 """
 
-from .buffer import Buffer, BufferPool, BufferState
+from .buffer import DATA_PRESENT, Buffer, BufferPool, BufferState
 from .cache import BlockCache, CacheConfig, LookupOutcome
 from .file import File
 from .fileserver import FileServer
 from .layout import FileLayout, HashedLayout, RoundRobinLayout, StripedLayout
 from .replacement import GlobalLRUPolicy, ReplacementPolicy, RUSetPolicy
 from .trace import Trace, TraceFormatError, TraceRecord
+from .writeback import WRITE_MODES, WritebackConfig, WritebackDaemon
 
 __all__ = [
     "File",
@@ -27,6 +30,7 @@ __all__ = [
     "Buffer",
     "BufferPool",
     "BufferState",
+    "DATA_PRESENT",
     "ReplacementPolicy",
     "RUSetPolicy",
     "GlobalLRUPolicy",
@@ -34,6 +38,9 @@ __all__ = [
     "CacheConfig",
     "LookupOutcome",
     "FileServer",
+    "WRITE_MODES",
+    "WritebackConfig",
+    "WritebackDaemon",
     "Trace",
     "TraceFormatError",
     "TraceRecord",

@@ -28,15 +28,17 @@ from ..machine.disk import RequestKind
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.core import Environment
 
-__all__ = ["BufferState", "BufferPool", "Buffer"]
+__all__ = ["BufferState", "BufferPool", "Buffer", "DATA_PRESENT"]
 
 
 class BufferState(enum.Enum):
     """Lifecycle of a cache buffer."""
 
     EMPTY = "empty"  # holds no block
-    FETCHING = "fetching"  # block assigned, I/O outstanding
-    READY = "ready"  # block data present
+    FETCHING = "fetching"  # block assigned, read I/O outstanding
+    READY = "ready"  # block data present, clean
+    DIRTY = "dirty"  # block data present, modified since last write-out
+    WRITING = "writing"  # writeback I/O outstanding (data still present)
 
 
 class BufferPool(enum.Enum):
@@ -44,6 +46,11 @@ class BufferPool(enum.Enum):
 
     DEMAND = "demand"
     PREFETCH = "prefetch"
+
+
+#: States in which the buffer's data are present and readable (a read of
+#: a dirty or writing-back block is served from memory).
+DATA_PRESENT = (BufferState.READY, BufferState.DIRTY, BufferState.WRITING)
 
 
 class Buffer:
@@ -91,6 +98,8 @@ class Buffer:
         "fetch_kind",
         "fetched_by",
         "fetch_start",
+        "write_event",
+        "redirtied",
     )
 
     def __init__(
@@ -113,6 +122,11 @@ class Buffer:
         self.fetch_kind: Optional[RequestKind] = None
         self.fetched_by: Optional[int] = None
         self.fetch_start: Optional[float] = None
+        #: Fires when the outstanding writeback completes; per flush.
+        self.write_event: Optional[Event] = None
+        #: A write landed while the buffer was WRITING: the block must
+        #: return to DIRTY (not READY) when the writeback completes.
+        self.redirtied = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -180,8 +194,8 @@ class Buffer:
 
     def record_use(self) -> None:
         """Account one read served from this buffer."""
-        if self.state is not BufferState.READY:
-            raise RuntimeError(f"{self!r} not ready; cannot read")
+        if self.state not in DATA_PRESENT:
+            raise RuntimeError(f"{self!r} holds no data; cannot read")
         self.read_count += 1
         self.last_use = self.env.now
 
@@ -189,6 +203,10 @@ class Buffer:
         """Drop the current block (eviction)."""
         if self.state is BufferState.FETCHING:
             raise RuntimeError(f"{self!r} fetching; cannot invalidate")
+        if self.state in (BufferState.DIRTY, BufferState.WRITING):
+            raise RuntimeError(
+                f"{self!r} holds unwritten data; flush before evicting"
+            )
         if self.pins:
             raise RuntimeError(f"{self!r} pinned; cannot invalidate")
         self.block = None
@@ -198,6 +216,91 @@ class Buffer:
         self.fetch_kind = None
         self.fetched_by = None
         self.fetch_start = None
+
+    # -- write-path transitions (see docs/writes.md) ---------------------------
+
+    def mark_dirty(self) -> bool:
+        """A write landed in this buffer.  READY/DIRTY -> DIRTY; a write
+        during an outstanding writeback (WRITING) only flags the buffer
+        for re-dirtying at completion.  Returns ``True`` when the buffer
+        *newly became* dirty (the caller then adjusts dirty accounting).
+        """
+        if self.state is BufferState.READY:
+            self.state = BufferState.DIRTY
+            self.last_use = self.env.now
+            return True
+        if self.state is BufferState.DIRTY:
+            self.last_use = self.env.now
+            return False
+        if self.state is BufferState.WRITING:
+            self.redirtied = True
+            self.last_use = self.env.now
+            return False
+        raise RuntimeError(f"{self!r} holds no data; cannot dirty")
+
+    def assign_dirty(self, block: int, by_node: int) -> None:
+        """Whole-block overwrite into a free buffer: EMPTY -> DIRTY with
+        no read I/O (the write path's miss allocation)."""
+        if self.state is not BufferState.EMPTY:
+            raise RuntimeError(f"{self!r} not empty; cannot assign")
+        if self.pins:
+            raise RuntimeError(f"{self!r} is pinned; cannot reassign")
+        self.block = block
+        self.state = BufferState.DIRTY
+        self.read_count = 0
+        self.last_use = self.env.now
+        self.fetch_kind = RequestKind.WRITE
+        self.fetched_by = by_node
+        self.fetch_start = self.env.now
+
+    def start_writeback(self) -> Event:
+        """Begin flushing: DIRTY -> WRITING; returns the write event that
+        fires when the disk write completes."""
+        if self.state is not BufferState.DIRTY:
+            raise RuntimeError(f"{self!r} not dirty; cannot write back")
+        if self.block is None:
+            raise InvariantViolation(
+                f"dirty buffer {self.index} holds no block"
+            )
+        self.state = BufferState.WRITING
+        self.redirtied = False
+        self.write_event = Event(self.env)
+        return self.write_event
+
+    def writeback_complete(self) -> bool:
+        """The disk write finished: WRITING -> READY (clean), or back to
+        DIRTY when a write landed mid-flush.  Wakes flush waiters.
+        Returns ``True`` when the buffer came out clean."""
+        if self.state is not BufferState.WRITING:
+            raise RuntimeError(f"{self!r} not writing")
+        event = self.write_event
+        invariant(
+            event is not None, "writing buffer has no write event", self
+        )
+        clean = not self.redirtied
+        self.state = BufferState.READY if clean else BufferState.DIRTY
+        self.redirtied = False
+        self.write_event = None
+        event.succeed(self)
+        return clean
+
+    def writeback_failed(self) -> Event:
+        """The flush exhausted its retries: the data are still in memory,
+        so WRITING -> DIRTY (the block stays reclaimable only via a later
+        successful flush).  Returns the still-untriggered write event so
+        the caller can *fail* it — flush waiters learn of the failure
+        through the event."""
+        if self.state is not BufferState.WRITING:
+            raise RuntimeError(f"{self!r} not writing; cannot fail")
+        event = self.write_event
+        if event is None:
+            raise InvariantViolation(
+                f"writing buffer {self.index} has no write event"
+            )
+        self.state = BufferState.DIRTY
+        self.redirtied = False
+        self.write_event = None
+        return event
 
     # -- pinning ---------------------------------------------------------------
 
@@ -212,15 +315,30 @@ class Buffer:
     # -- predicates -------------------------------------------------------------
 
     @property
+    def is_dirty(self) -> bool:
+        """Does this buffer hold data the disk has not seen (DIRTY, or
+        WRITING with a write that landed mid-flush)?"""
+        return self.state is BufferState.DIRTY or (
+            self.state is BufferState.WRITING and self.redirtied
+        )
+
+    @property
     def is_evictable(self) -> bool:
         """May this buffer be reassigned to a new block right now?
 
-        Never while pinned or fetching.  Prefetched-but-unused blocks
-        (READY, ``read_count == 0``, prefetch-fetched) are protected: they
-        are exactly the blocks counted against the global prefetch budget,
+        Never while pinned or with I/O outstanding (FETCHING/WRITING).
+        DIRTY buffers hold data the disk has not seen: they must be
+        flushed before reclaim (the Linux clean-before-reclaim rule, see
+        docs/writes.md).  Prefetched-but-unused blocks (READY,
+        ``read_count == 0``, prefetch-fetched) are protected: they are
+        exactly the blocks counted against the global prefetch budget,
         and evicting them would waste a completed prefetch.
         """
-        if self.pins or self.state is BufferState.FETCHING:
+        if self.pins or self.state in (
+            BufferState.FETCHING,
+            BufferState.DIRTY,
+            BufferState.WRITING,
+        ):
             return False
         if self.state is BufferState.EMPTY:
             return True

@@ -28,15 +28,17 @@ the remaining I/O — the hit-wait time.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Deque, Dict, Generator, List, Optional
 
 from ..analysis.invariants import invariant
+from ..faults.errors import WriteFailedError
 from ..machine.disk import RequestKind
 from ..sim.events import Event
 from ..sim.monitor import Tally
 from ..sim.resources import Resource
-from .buffer import Buffer, BufferPool, BufferState
+from .buffer import DATA_PRESENT, Buffer, BufferPool, BufferState
 from .file import File
 from .replacement import GlobalLRUPolicy, ReplacementPolicy, RUSetPolicy
 from .trace import Trace, TraceRecord
@@ -46,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..machine.machine import Machine
     from ..metrics.collector import RunMetrics
     from ..prefetch.policy import PrefetchPolicy
+    from .writeback import WritebackConfig
 
 __all__ = ["CacheConfig", "LookupOutcome", "BlockCache"]
 
@@ -96,12 +99,16 @@ class CacheConfig:
 
 @dataclass
 class LookupOutcome:
-    """Result of the demand-side lookup for one block access."""
+    """Result of the demand-side lookup for one block access (reads via
+    :meth:`BlockCache.lookup_and_begin`, writes via
+    :meth:`BlockCache.write_begin`)."""
 
     #: "ready" | "unready" | "miss"
     kind: str
     buffer: Buffer
-    #: For "unready" and "miss": event firing when the data are in.
+    #: For "unready" and (read-side) "miss": event firing when the data
+    #: are in.  A write-side miss has no event — the buffer is assigned
+    #: dirty with no read I/O.
     ready_event: Optional[Event] = None
 
 
@@ -181,6 +188,28 @@ class BlockCache:
         #: its per-disk circuit breakers.
         self.resilience: Optional["ResilienceLayer"] = None
 
+        # -- write path (armed by configure_writeback; see docs/writes.md).
+        #: Write-path tunables; ``None`` until a read-write run arms them.
+        self.writeback: Optional["WritebackConfig"] = None
+        #: Foreground-throttle threshold in blocks (``None`` = unarmed:
+        #: writes never throttle — unit tests poking write_begin directly).
+        self.dirty_limit: Optional[int] = None
+        #: Background-flush threshold in blocks.
+        self.dirty_background_limit = 0
+        #: Buffers currently in state DIRTY (not WRITING: a block leaves
+        #: the count when its flush starts and re-enters only if a write
+        #: lands mid-flush).
+        self.dirty_count = 0
+        #: Dirty buffers in first-dirtied order (flush oldest first).
+        #: May hold stale entries for buffers no longer DIRTY — consumers
+        #: skip them lazily via :meth:`_pop_flushable`.
+        self._dirty_queue: Deque[Buffer] = deque()
+        #: Optional callback ``(node_id, dirty_count, background_limit)``
+        #: fired when a write newly dirties a buffer — the dirty-pressure
+        #: signal the adaptive prefetch policy's AIMD loop shrinks on.
+        #: Must be passive (no events, no randomness).
+        self.write_pressure_observer = None
+
     # ------------------------------------------------------------------ util
 
     def _signal_freed(self) -> None:
@@ -254,6 +283,131 @@ class BlockCache:
             self._release_budget(victim)  # defensive; unused are protected
             victim.invalidate()
 
+    # ----------------------------------------------------- write-path state
+
+    def configure_writeback(self, config: "WritebackConfig") -> None:
+        """Arm the write path: fix the dirty thresholds in blocks.
+        Read-only runs never call this, so ``dirty_limit`` stays ``None``
+        and every write-path branch stays dead."""
+        self.writeback = config
+        self.dirty_limit = config.dirty_limit_for(self.n_buffers)
+        self.dirty_background_limit = config.background_limit_for(
+            self.n_buffers
+        )
+
+    @property
+    def write_mode(self) -> str:
+        return (
+            self.writeback.write_mode
+            if self.writeback is not None
+            else "write-back"
+        )
+
+    @property
+    def throttle_needed(self) -> bool:
+        """Must the foreground writer flush synchronously before its
+        write returns (the Linux ``dirty_ratio`` stall)?"""
+        return (
+            self.dirty_limit is not None
+            and self.write_mode == "write-back"
+            and self.dirty_count >= self.dirty_limit
+        )
+
+    def _note_newly_dirty(
+        self, buffer: Buffer, node_id: Optional[int] = None
+    ) -> None:
+        """A buffer just transitioned into DIRTY: count it, queue it for
+        flushing, and (when a writer caused it) fire the dirty-pressure
+        observer.  ``node_id`` is None for interrupt-context transitions
+        (re-dirty at flush completion, flush failure)."""
+        self.dirty_count += 1
+        self._dirty_queue.append(buffer)
+        self.metrics.record_dirty_level(self.dirty_count)
+        if node_id is not None and self.write_pressure_observer is not None:
+            self.write_pressure_observer(
+                node_id, self.dirty_count, self.dirty_background_limit
+            )
+
+    def _pop_flushable(self) -> Optional[Buffer]:
+        """Pop the oldest buffer that is still DIRTY, discarding stale
+        queue entries (blocks already flushed or mid-writeback)."""
+        queue = self._dirty_queue
+        while queue:
+            buffer = queue.popleft()
+            if buffer.state is BufferState.DIRTY:
+                return buffer
+        return None
+
+    def _begin_flush(
+        self, buffer: Buffer, node_id: int, reason: str
+    ) -> Event:
+        """Start a writeback (caller holds the metadata lock and has
+        taken ``buffer`` off the dirty queue): DIRTY -> WRITING plus the
+        dirty accounting.  The caller must still pay the disk-enqueue
+        cost and call :meth:`_issue_write`; until then the returned write
+        event exists but cannot fire."""
+        event = buffer.start_writeback()
+        self.dirty_count -= 1
+        invariant(
+            self.dirty_count >= 0,
+            "dirty counter went negative",
+            self.dirty_count,
+        )
+        self.metrics.record_flush(reason)
+        return event
+
+    def _issue_write(self, buffer: Buffer, node_id: int) -> None:
+        """Send the writeback to the block's disk — through the
+        resilience layer's retry machinery under a fault plan."""
+        block = buffer.block
+        invariant(block is not None, "writeback of an empty buffer", buffer)
+        disk = self.machine.disk_for_block(self.file.disk_for(block))
+        if self.resilience is not None:
+            self.resilience.fetch(
+                disk,
+                block,
+                RequestKind.WRITE,
+                node_id,
+                on_success=lambda buf=buffer: self._write_complete(buf),
+                on_failure=lambda exc, buf=buffer: self.write_failed(
+                    buf, exc
+                ),
+            )
+            return
+        request = disk.submit(block, RequestKind.WRITE, node_id)
+        request.done.callbacks.append(
+            lambda ev, buf=buffer: self._write_complete(buf)
+        )
+
+    def _write_complete(self, buffer: Buffer) -> None:
+        """Disk-write completion (interrupt context — uncosted): the
+        buffer comes out clean unless a write landed mid-flush, in which
+        case it goes straight back on the dirty queue."""
+        clean = buffer.writeback_complete()
+        self.metrics.record_flush_complete()
+        if clean:
+            self._signal_freed()  # now evictable
+        else:
+            self._note_newly_dirty(buffer)
+
+    def write_failed(self, buffer: Buffer, error: BaseException) -> None:
+        """A writeback exhausted its retries (interrupt context): the
+        data are still in memory, so the block simply returns to the
+        dirty queue; the write event is *failed* so any foreground flush
+        waiter has ``error`` raised into it.  With no waiters (a
+        background flush) the defused failure is inert and the block
+        awaits a later flush attempt."""
+        block = buffer.block
+        event = buffer.writeback_failed()
+        self._note_newly_dirty(buffer)
+        self.metrics.record_flush_failure()
+        event.fail(
+            WriteFailedError(
+                f"writeback of block {block} failed permanently: {error}"
+            )
+        )
+        event.defuse()
+
     # --------------------------------------------------------- demand path
 
     def lookup_and_begin(
@@ -281,7 +435,8 @@ class BlockCache:
 
         while True:
             buffer = self.table.get(block)
-            if buffer is not None and buffer.state is BufferState.READY:
+            if buffer is not None and buffer.state in DATA_PRESENT:
+                # READY, or dirty/writing-back: data served from memory.
                 self._release_budget(buffer)
                 buffer.record_use()
                 buffer.pin()  # held across the copy
@@ -305,8 +460,7 @@ class BlockCache:
             victim = self.replacement.demand_victim(self, node_id)
             if victim is not None:
                 break
-            self.metadata_lock.release(lock_req)
-            yield self._freed
+            yield from self._reclaim_wait(node_id, lock_req)
             lock_req = self.metadata_lock.request()
             yield lock_req
 
@@ -328,6 +482,31 @@ class BlockCache:
         return LookupOutcome(
             kind="miss", buffer=victim, ready_event=ready_event
         )
+
+    def _reclaim_wait(
+        self, node_id: int, lock_req
+    ) -> Generator[Event, None, None]:
+        """No evictable buffer: release the lock and wait for capacity.
+
+        When dirty blocks are (part of) the reason, force the oldest one
+        out synchronously — the Linux clean-before-reclaim rule — rather
+        than deadlocking on a cache full of unwritten data; otherwise
+        wait for any buffer to be freed.  Read-only runs never have a
+        dirty queue, so they always take the second branch unchanged.
+        The caller re-acquires the lock afterwards.
+        """
+        flush_target = self._pop_flushable()
+        if flush_target is not None:
+            wait_event = self._begin_flush(flush_target, node_id, "eviction")
+            self.metadata_lock.release(lock_req)
+            yield self.env.batched_timeout(self.costs.disk_enqueue_time)
+            self._issue_write(flush_target, node_id)
+            # A permanently failed flush fails this event: the stalled
+            # requester surfaces the error, same as a failed demand fetch.
+            yield wait_event
+        else:
+            self.metadata_lock.release(lock_req)
+            yield self._freed
 
     def _issue_fetch(self, disk, block, kind, node_id, buffer) -> None:
         """Send a block fetch to ``disk``, directly or — under a fault
@@ -405,6 +584,169 @@ class BlockCache:
                     ref_index=ref_index,
                 )
             )
+
+    # ----------------------------------------------------------- write path
+
+    def write_begin(
+        self, node_id: int, block: int
+    ) -> Generator[Event, None, LookupOutcome]:
+        """Write-side lookup; caller holds its CPU and is inside the
+        memory system.  Mirrors :meth:`lookup_and_begin` with one
+        structural difference: a miss allocates the buffer *dirty* with
+        no read I/O — every write in this model overwrites the whole
+        block, so there is nothing to fetch first (no read-modify-write;
+        see docs/writes.md).
+
+        Outcomes: "ready" (data present — READY, DIRTY or WRITING — and
+        the buffer is re-dirtied), "unready" (read I/O outstanding; the
+        caller waits on ``ready_event`` then calls
+        :meth:`complete_write`), "miss" (fresh DIRTY buffer, no event).
+        The buffer is pinned across the caller's copy-in either way.
+        """
+        if self.access_observer is not None:
+            self.access_observer(node_id, block)
+        wait_start = self.env.now
+        lock_req = self.metadata_lock.request()
+        yield lock_req
+        yield self.env.batched_timeout(self._op_time(local_refs=1, remote_refs=1))
+
+        while True:
+            buffer = self.table.get(block)
+            if buffer is not None and buffer.state in DATA_PRESENT:
+                self._release_budget(buffer)
+                buffer.record_use()
+                if buffer.mark_dirty():
+                    self._note_newly_dirty(buffer, node_id)
+                buffer.pin()  # held across the copy-in
+                self.metrics.record_write_hit(node_id)
+                self.metadata_lock.release(lock_req)
+                return LookupOutcome(kind="ready", buffer=buffer)
+
+            if buffer is not None:  # FETCHING: the overwrite lands after
+                self._release_budget(buffer)
+                buffer.pin()  # protect while we wait
+                self.metrics.record_write_hit(node_id)
+                event = buffer.ready_event
+                self.metadata_lock.release(lock_req)
+                return LookupOutcome(
+                    kind="unready", buffer=buffer, ready_event=event
+                )
+
+            victim = self.replacement.demand_victim(self, node_id)
+            if victim is not None:
+                break
+            yield from self._reclaim_wait(node_id, lock_req)
+            lock_req = self.metadata_lock.request()
+            yield lock_req
+
+        self.metrics.record_write_miss(node_id)
+        self.alloc_waits.record(self.env.now - wait_start)
+
+        # Allocation + table update: another costed metadata operation.
+        yield self.env.batched_timeout(self._op_time(local_refs=1, remote_refs=2))
+        self._evict(victim)
+        victim.assign_dirty(block, node_id)
+        self.table[block] = victim
+        self._note_newly_dirty(victim, node_id)
+        victim.pin()  # writer's claim until its copy-in completes
+        self.metadata_lock.release(lock_req)
+        return LookupOutcome(kind="miss", buffer=victim)
+
+    def complete_write(self, node_id: int, buffer: Buffer) -> None:
+        """Post-wait accounting for an unready write hit: the read I/O
+        the buffer was waiting on has completed and the overwrite now
+        lands.  (Counters are node-local: uncosted, like
+        :meth:`complete_read`.)"""
+        buffer.record_use()
+        if buffer.mark_dirty():
+            self._note_newly_dirty(buffer, node_id)
+
+    def begin_sync_flush(
+        self, node_id: int, reason: str, buffer: Optional[Buffer] = None
+    ) -> Generator[Event, None, Optional[Event]]:
+        """Foreground flush initiation (write-through and throttle
+        stalls): a costed, locked pick of ``buffer`` (or the oldest dirty
+        block), whose writeback is started and issued.  Returns the event
+        the caller must wait on, or ``None`` when there is nothing left
+        to flush.  Caller holds its CPU, inside the memory system.
+        """
+        lock_req = self.metadata_lock.request()
+        yield lock_req
+        yield self.env.batched_timeout(self._op_time(local_refs=1, remote_refs=2))
+        victim: Optional[Buffer] = None
+        if buffer is not None:
+            if buffer.state is BufferState.WRITING:
+                # Another node's flusher beat us to it: piggyback on the
+                # in-flight writeback instead of starting a second one.
+                event = buffer.write_event
+                self.metadata_lock.release(lock_req)
+                return event
+            if buffer.state is BufferState.DIRTY:
+                victim = buffer  # its queue entry goes stale; that's fine
+        else:
+            victim = self._pop_flushable()
+        if victim is None:
+            self.metadata_lock.release(lock_req)
+            return None
+        event = self._begin_flush(victim, node_id, reason)
+        self.metadata_lock.release(lock_req)
+        yield self.env.batched_timeout(self.costs.disk_enqueue_time)
+        self._issue_write(victim, node_id)
+        return event
+
+    def flush_action(
+        self, node_id: int
+    ) -> Generator[Event, None, str]:
+        """One complete background flush attempt by ``node_id``'s
+        flusher daemon.
+
+        The caller holds the node's CPU for the whole action (the same
+        contract as :meth:`prefetch_action`).  Returns "success", "clean"
+        (dirty level at or below the background threshold, or nothing
+        currently flushable), or — under a fault plan — "suspended" (the
+        target disk's circuit breaker is open).
+        """
+        self.memory.enter()
+        try:
+            # Dirty-level consultation against shared state.
+            yield self.env.batched_timeout(
+                self.memory.reference_time(local_refs=1, remote_refs=1)
+            )
+            if self.dirty_count <= self.dirty_background_limit:
+                yield self.env.batched_timeout(self.costs.prefetch_failed_action)
+                return "clean"
+
+            lock_req = self.metadata_lock.request()
+            yield lock_req
+            yield self.env.batched_timeout(self._op_time(local_refs=1, remote_refs=2))
+            victim = self._pop_flushable()
+            if victim is None:
+                self.metadata_lock.release(lock_req)
+                yield self.env.batched_timeout(self.costs.prefetch_failed_action)
+                return "clean"
+            if self.resilience is not None:
+                disk = self.machine.disk_for_block(
+                    self.file.disk_for(victim.block)
+                )
+                if not self.resilience.allow_prefetch(disk.disk_id):
+                    # Circuit breaker open: requeue and sit out this
+                    # idle period, so *background* writes never pile
+                    # onto a sick disk.  (Foreground throttle/eviction
+                    # flushes still may — they are correctness, not
+                    # opportunism.)
+                    self._dirty_queue.appendleft(victim)
+                    self.metadata_lock.release(lock_req)
+                    yield self.env.batched_timeout(
+                        self.costs.prefetch_failed_action
+                    )
+                    return "suspended"
+            self._begin_flush(victim, node_id, "background")
+            self.metadata_lock.release(lock_req)
+            yield self.env.batched_timeout(self.costs.disk_enqueue_time)
+            self._issue_write(victim, node_id)
+            return "success"
+        finally:
+            self.memory.exit()
 
     # -------------------------------------------------------- prefetch path
 
@@ -509,7 +851,7 @@ class BlockCache:
                 buffer,
             )
             invariant(
-                buffer.state in (BufferState.FETCHING, BufferState.READY),
+                buffer.state is not BufferState.EMPTY,
                 "tabled buffer in impossible state",
                 buffer,
             )
@@ -542,5 +884,21 @@ class BlockCache:
                 buffer.block is None
                 or buffer.state is BufferState.EMPTY,
                 "buffer holds a block absent from the cache table",
+                buffer,
+            )
+        dirty_buffers = [
+            b for b in all_buffers if b.state is BufferState.DIRTY
+        ]
+        invariant(
+            self.dirty_count == len(dirty_buffers),
+            "dirty counter disagrees with buffer states",
+            self.dirty_count,
+            len(dirty_buffers),
+        )
+        queued = set(id(b) for b in self._dirty_queue)
+        for buffer in dirty_buffers:
+            invariant(
+                id(buffer) in queued,
+                "dirty buffer missing from the flush queue",
                 buffer,
             )

@@ -1,8 +1,9 @@
-"""Per-node file-system facade: the demand read path.
+"""Per-node file-system facade: the demand read and write paths.
 
-``read_block`` is what the synthetic applications call.  It glues together
-the node CPU protocol (hold while computing, release across waits), the
-memory system bracketing, the cache lookup, and metric/trace recording.
+``read_block`` / ``write_block`` are what the synthetic applications
+call.  They glue together the node CPU protocol (hold while computing,
+release across waits), the memory system bracketing, the cache lookup,
+and metric/trace recording.
 
 Timing anatomy of one read (all emergent from the cost model):
 
@@ -11,6 +12,12 @@ Timing anatomy of one read (all emergent from the cost model):
   fetch) + possible overrun on CPU reacquisition;
 * miss:         call overhead + locked lookup + allocation + disk enqueue
   + full disk response (queueing + 30 ms) + copy + possible overrun.
+
+Writes (docs/writes.md) are cheaper at the front — a miss allocates the
+buffer dirty with *no* read I/O — but can stall at the back: write-through
+waits out the disk write every time, and write-back stalls whenever the
+dirty count crosses the throttle threshold (the Linux ``dirty_ratio``
+stall, charged here as throttle-stall time).
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from ..analysis.invariants import invariant
-from ..faults.errors import ReadFailedError
+from ..faults.errors import ReadFailedError, WriteFailedError
 from ..machine.node import IdleKind, Node
 from ..sim.events import Event
 from ..sim.resources import Request
@@ -51,6 +58,26 @@ class FileServer:
         #: recorder instead of clobbering it.
         self.obs_read_observer: Optional[
             Callable[[int, int, str, float, int], None]
+        ] = None
+        #: Optional callback ``(node_id, block, outcome, latency,
+        #: ref_index)`` fired as each write completes — the write-side
+        #: sibling of ``read_observer`` (the trace recorder attaches
+        #: here).  Passive.
+        self.write_observer: Optional[
+            Callable[[int, int, str, float, int], None]
+        ] = None
+        #: Second write slot with the same signature, reserved for the
+        #: observability layer so span tracing composes with the trace
+        #: recorder instead of clobbering it.  Passive.
+        self.obs_write_observer: Optional[
+            Callable[[int, int, str, float, int], None]
+        ] = None
+        #: Optional callback ``(node_id, start, end, reason)`` fired when
+        #: a foreground writer finishes a synchronous-flush stall
+        #: (throttle or write-through) — the obs layer's "writeback" lane
+        #: draws these.  Passive.
+        self.throttle_observer: Optional[
+            Callable[[int, float, float, str], None]
         ] = None
 
     def _notify_read(
@@ -143,4 +170,109 @@ class FileServer:
         self._notify_read(
             node.node_id, block, outcome.kind, latency, ref_index
         )
+        return cpu_req
+
+    def write_block(
+        self,
+        node: Node,
+        cpu_req: Request,
+        block: int,
+        ref_index: int = -1,
+    ) -> Generator[Event, None, Request]:
+        """``yield from`` helper: overwrite one block on behalf of
+        ``node``'s user process, which currently holds ``cpu_req``.
+
+        Returns the (possibly new) CPU claim.  The recorded write latency
+        is the *durable-side* latency for write-through (it includes the
+        synchronous flush) and the buffered latency plus any throttle
+        stall for write-back — exactly what an application would see
+        return from the call.
+        """
+        env = self.env
+        memory = self.machine.memory
+        cache = self.cache
+        start = env.now
+
+        memory.enter()
+        yield env.timeout(cache.costs.read_call_overhead)
+        outcome = yield from cache.write_begin(node.node_id, block)
+
+        if outcome.kind == "unready":
+            # Someone else's read I/O holds the buffer: the overwrite
+            # lands once the data arrive.  Wait it out as idle time.
+            memory.exit()
+            invariant(
+                outcome.ready_event is not None,
+                "unready write outcome lacks a ready event",
+                outcome,
+            )
+            try:
+                _, cpu_req = yield from node.idle_wait(
+                    cpu_req, outcome.ready_event, IdleKind.REMOTE_IO
+                )
+            except ReadFailedError as exc:
+                raise WriteFailedError(
+                    f"write of block {block} by node {node.node_id} "
+                    f"waited on a fetch that failed permanently: {exc}"
+                ) from exc
+            memory.enter()
+            cache.complete_write(node.node_id, outcome.buffer)
+
+        # Data slot present and dirty: copy the new contents in (same
+        # cost and unpin protocol as the read-side copy-out).
+        yield from cache.copy_out(outcome.buffer)
+        memory.exit()
+
+        # Synchronous-flush obligations, if any: write-through flushes
+        # *this* block before returning; write-back flushes the *oldest*
+        # dirty block once the dirty count crosses the throttle limit.
+        stall_reason: Optional[str] = None
+        if cache.write_mode == "write-through":
+            stall_reason = "write-through"
+        elif cache.throttle_needed:
+            stall_reason = "throttle"
+
+        if stall_reason is not None:
+            memory.enter()
+            target = (
+                outcome.buffer if stall_reason == "write-through" else None
+            )
+            stall_event = yield from cache.begin_sync_flush(
+                node.node_id, stall_reason, buffer=target
+            )
+            memory.exit()
+            if stall_event is not None:
+                stall_start = env.now
+                try:
+                    _, cpu_req = yield from node.idle_wait(
+                        cpu_req, stall_event, IdleKind.SELF_IO
+                    )
+                except WriteFailedError as exc:
+                    raise WriteFailedError(
+                        f"synchronous flush ({stall_reason}) forced by "
+                        f"node {node.node_id}'s write of block {block} "
+                        f"failed permanently: {exc}"
+                    ) from exc
+                if stall_reason == "throttle":
+                    self.metrics.record_throttle_stall(
+                        env.now - stall_start
+                    )
+                if self.throttle_observer is not None:
+                    self.throttle_observer(
+                        node.node_id, stall_start, env.now, stall_reason
+                    )
+
+        latency = env.now - start
+        self.metrics.record_write(node.node_id, latency)
+        self.cache.record_access(
+            node.node_id, block, f"write-{outcome.kind}", latency, ref_index
+        )
+        if self.write_observer is not None:
+            self.write_observer(
+                node.node_id, block, outcome.kind, latency, ref_index
+            )
+        if self.obs_write_observer is not None:
+            self.obs_write_observer(
+                node.node_id, block, outcome.kind, latency, ref_index
+            )
         return cpu_req

@@ -31,8 +31,10 @@ __all__ = [
 #: Envelope name shared by every trace file this project writes.
 TRACE_FORMAT_NAME = "rapid-transit-trace"
 
-#: Version of the access-trace record layout below.
-ACCESS_TRACE_VERSION = 1
+#: Version of the access-trace record layout below.  Version 2 added the
+#: write-side outcomes ("write-ready" / "write-unready" / "write-miss");
+#: version-1 files (read-only vocabulary) still load.
+ACCESS_TRACE_VERSION = 2
 
 
 class TraceFormatError(ValueError):
@@ -73,7 +75,8 @@ class TraceRecord:
     time: float
     node: int
     block: int
-    #: "ready" | "unready" | "miss"
+    #: Reads: "ready" | "unready" | "miss".  Writes (version 2):
+    #: "write-ready" | "write-unready" | "write-miss".
     outcome: str
     #: Block read latency experienced by the requester (ms).
     latency: float
@@ -113,7 +116,16 @@ class TraceRecord:
 class Trace:
     """An append-only sequence of :class:`TraceRecord`."""
 
-    VALID_OUTCOMES = frozenset({"ready", "unready", "miss"})
+    VALID_OUTCOMES = frozenset(
+        {
+            "ready",
+            "unready",
+            "miss",
+            "write-ready",
+            "write-unready",
+            "write-miss",
+        }
+    )
 
     def __init__(self, records: Optional[Iterable[TraceRecord]] = None) -> None:
         self.records: List[TraceRecord] = list(records or [])
@@ -195,7 +207,9 @@ class Trace:
         return Trace(sorted(self.records, key=lambda r: (r.time, r.node)))
 
     def outcome_counts(self) -> dict:
+        """Counts per outcome.  The read outcomes are always present;
+        write outcomes appear only when the trace contains writes."""
         counts: dict = {"ready": 0, "unready": 0, "miss": 0}
         for r in self.records:
-            counts[r.outcome] += 1
+            counts[r.outcome] = counts.get(r.outcome, 0) + 1
         return counts

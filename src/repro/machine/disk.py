@@ -40,10 +40,13 @@ __all__ = [
 
 
 class RequestKind(enum.Enum):
-    """Why a block is being fetched."""
+    """Why a block is being transferred."""
 
     DEMAND = "demand"
     PREFETCH = "prefetch"
+    #: A dirty block being written back to disk (the write subsystem;
+    #: the 1989 testbed was read-only, see docs/writes.md).
+    WRITE = "write"
 
 
 @dataclass
@@ -188,7 +191,8 @@ class Disk:
     Statistics (all per-disk, partitioned by request kind where noted):
 
     * ``response_times`` — Tally of enqueue-to-complete times;
-    * ``demand_response`` / ``prefetch_response`` — kind-partitioned tallies;
+    * ``demand_response`` / ``prefetch_response`` / ``write_response`` —
+      kind-partitioned tallies;
     * ``queue_length`` — time-weighted queue length (waiting requests);
     * ``busy`` — time-weighted busy indicator (utilization);
     * ``blocks_served`` — total completed requests (errored completions
@@ -209,6 +213,7 @@ class Disk:
         self.response_times = Tally(f"disk{disk_id}.response")
         self.demand_response = Tally(f"disk{disk_id}.demand_response")
         self.prefetch_response = Tally(f"disk{disk_id}.prefetch_response")
+        self.write_response = Tally(f"disk{disk_id}.write_response")
         self.queue_length = TimeWeighted(env, 0.0)
         self.busy = TimeWeighted(env, 0.0)
         self.blocks_served = 0
@@ -277,7 +282,9 @@ class Disk:
             self.response_times.count,
         )
         invariant(
-            self.demand_response.count + self.prefetch_response.count
+            self.demand_response.count
+            + self.prefetch_response.count
+            + self.write_response.count
             == self.response_times.count,
             "kind-partitioned tallies do not sum to the response tally",
             self.disk_id,
@@ -322,8 +329,10 @@ class Disk:
             self.response_times.record(rt)
             if request.kind is RequestKind.DEMAND:
                 self.demand_response.record(rt)
-            else:
+            elif request.kind is RequestKind.PREFETCH:
                 self.prefetch_response.record(rt)
+            else:
+                self.write_response.record(rt)
             if self.request_observer is not None:
                 self.request_observer(self.disk_id, request)
             request.done.succeed(request)

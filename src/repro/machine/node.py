@@ -139,6 +139,9 @@ class Node:
         self.overruns = Tally(f"node{node_id}.overrun")
         #: Set by the file server / daemon wiring.
         self.daemon = None
+        #: The node's writeback daemon, if the run has a write path
+        #: (set by :class:`~repro.fs.writeback.WritebackDaemon`).
+        self.flusher = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Node {self.node_id}>"

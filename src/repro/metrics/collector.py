@@ -14,7 +14,11 @@ Gathers every measure the paper defines (Section IV-C):
 * prefetch action lengths and failure reasons;
 * synchronization waits (delegated to the Barrier);
 * fault-injection counters (per-disk errors / retries / timeouts and
-  circuit-breaker transitions) — all zero on healthy runs.
+  circuit-breaker transitions) — all zero on healthy runs;
+* write-path counters (write latencies, dirty peak, flushes by reason,
+  throttle stalls — docs/writes.md) — all zero on read-only runs, and
+  kept strictly apart from the read-side tallies so every paper-facing
+  read measure means exactly what it meant before writes existed.
 
 The collector is write-mostly during a run; derived ratios are computed on
 demand.
@@ -88,6 +92,29 @@ class RunMetrics:
         #: ``(time, disk_id, "detected"|"cleared")`` in event order.
         self.failslow_events: List[Tuple[float, int, str]] = []
 
+        # Write path (all zero on read-only runs; docs/writes.md).
+        self.write_times = Tally("write_time")
+        self.write_hits = 0
+        self.write_misses = 0
+        self.write_hits_by_node = [0] * n_nodes
+        self.write_misses_by_node = [0] * n_nodes
+        #: High-water mark of the dirty-block count.
+        self.dirty_peak = 0
+        #: Writebacks *started*, by reason: "background" (flusher),
+        #: "throttle" (dirty_ratio stall), "eviction" (clean-before-
+        #: reclaim), "write-through".
+        self.flushes_by_reason: Dict[str, int] = {}
+        #: Writebacks whose disk write completed.
+        self.flushes_completed = 0
+        #: Writebacks that exhausted their retries (block stayed dirty).
+        self.flush_failures = 0
+        #: Foreground dirty-ratio stalls (the Linux throttle).
+        self.throttle_stalls = Tally("throttle_stall")
+        # Flusher-daemon actions (the writeback twin of prefetch actions).
+        self.flush_action_times = Tally("flush_action")
+        self.failed_flush_action_times = Tally("failed_flush_action")
+        self.flush_outcomes: Dict[str, int] = {}
+
         # Run span.
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
@@ -142,6 +169,53 @@ class RunMetrics:
             self.prefetch_action_times.record(duration)
         else:
             self.failed_action_times.record(duration)
+
+    def record_write(self, node_id: int, duration: float) -> None:
+        """One application-visible write latency (see
+        :meth:`~repro.fs.fileserver.FileServer.write_block` for what the
+        latency includes per write mode)."""
+        self.write_times.record(duration)
+
+    def record_write_hit(self, node_id: int) -> None:
+        """A write found its block's buffer present (ready or unready)."""
+        self.write_hits += 1
+        self.write_hits_by_node[node_id] += 1
+
+    def record_write_miss(self, node_id: int) -> None:
+        """A write allocated a fresh dirty buffer (no read I/O)."""
+        self.write_misses += 1
+        self.write_misses_by_node[node_id] += 1
+
+    def record_dirty_level(self, count: int) -> None:
+        if count > self.dirty_peak:
+            self.dirty_peak = count
+
+    def record_flush(self, reason: str) -> None:
+        """One writeback started (reason: background / throttle /
+        eviction / write-through)."""
+        self.flushes_by_reason[reason] = (
+            self.flushes_by_reason.get(reason, 0) + 1
+        )
+
+    def record_flush_complete(self) -> None:
+        self.flushes_completed += 1
+
+    def record_flush_failure(self) -> None:
+        self.flush_failures += 1
+
+    def record_throttle_stall(self, duration: float) -> None:
+        """One foreground dirty-ratio stall of ``duration`` ms."""
+        self.throttle_stalls.record(duration)
+
+    def record_flush_action(self, duration: float, outcome: str) -> None:
+        """One flusher-daemon action (successful or not)."""
+        self.flush_outcomes[outcome] = (
+            self.flush_outcomes.get(outcome, 0) + 1
+        )
+        if outcome == "success":
+            self.flush_action_times.record(duration)
+        else:
+            self.failed_flush_action_times.record(duration)
 
     def record_disk_error(self, disk_id: int) -> None:
         """One errored disk completion observed by the resilience layer."""
@@ -252,6 +326,24 @@ class RunMetrics:
     def total_fetches(self) -> int:
         """Disk reads issued (demand + prefetch)."""
         return self.blocks_demand_fetched + self.blocks_prefetched
+
+    @property
+    def total_writes(self) -> int:
+        return self.write_hits + self.write_misses
+
+    @property
+    def flush_count(self) -> int:
+        """Writebacks started, over all reasons."""
+        return sum(self.flushes_by_reason.values())
+
+    @property
+    def avg_write_time(self) -> float:
+        return self.write_times.mean
+
+    @property
+    def throttle_stall_time(self) -> float:
+        """Total time foreground writers spent in dirty-ratio stalls."""
+        return self.throttle_stalls.total
 
     def per_node_mean_read_times(self) -> List[float]:
         return [t.mean for t in self.read_times_by_node]

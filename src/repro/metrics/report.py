@@ -15,11 +15,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "PAIRED_MEASURES",
+    "WRITE_MEASURES",
     "FAULT_MEASURES",
     "ATTRIBUTION_COLUMNS",
     "LEAGUE_COLUMNS",
     "league_row",
     "paired_measure_rows",
+    "write_measure_rows",
     "fault_measure_rows",
     "attribution_rows",
     "attribution_summary",
@@ -54,6 +56,23 @@ PAIRED_MEASURES: Tuple[Tuple[str, str], ...] = (
     ("prefetched-unused evictions", "prefetch_unused_evicted"),
     ("prefetched-unused at run end", "prefetch_unused_at_end"),
     ("unused-prefetch rate", "unused_prefetch_rate"),
+)
+
+
+#: Write-path measures appended to paired comparisons when either run
+#: performed writes: (row label, RunResult attribute).  Kept out of the
+#: base list so read-only reports — the paper's six patterns — stay
+#: byte-identical to their pre-write-path form.
+WRITE_MEASURES: Tuple[Tuple[str, str], ...] = (
+    ("total writes", "total_writes"),
+    ("avg block write time (ms)", "write_avg"),
+    ("write p50 (ms)", "write_p50"),
+    ("write p99 (ms)", "write_p99"),
+    ("dirty peak (buffers)", "dirty_peak"),
+    ("flushes", "flush_count"),
+    ("flush failures", "flush_failures"),
+    ("throttle stalls", "throttle_stall_count"),
+    ("throttle stall time (ms)", "throttle_stall_time"),
 )
 
 
@@ -154,11 +173,26 @@ def paired_measure_rows(
     """Rows for a paired-comparison table: (measure, no-prefetch, prefetch).
 
     Shared by ``rapid-transit run`` and ``rapid-transit trace replay`` so
-    live and trace-driven comparisons read identically.
+    live and trace-driven comparisons read identically.  On read-write
+    runs the :data:`WRITE_MEASURES` rows are appended; read-only reports
+    are unchanged.
     """
+    measures = list(PAIRED_MEASURES)
+    if base.total_writes or prefetch.total_writes:
+        measures.extend(WRITE_MEASURES)
     return [
         (label, getattr(base, attr), getattr(prefetch, attr))
-        for label, attr in PAIRED_MEASURES
+        for label, attr in measures
+    ]
+
+
+def write_measure_rows(
+    base: "RunResult", prefetch: "RunResult"
+) -> List[Tuple[str, object, object]]:
+    """Just the write-path rows (for callers composing their own table)."""
+    return [
+        (label, getattr(base, attr), getattr(prefetch, attr))
+        for label, attr in WRITE_MEASURES
     ]
 
 

@@ -33,10 +33,13 @@ __all__ = [
 ]
 
 #: Perfetto process ids, one per track family.
-_TRACK_PIDS = {"node": 1, "disk": 2, "daemon": 3, "fault": 5}
+_TRACK_PIDS = {
+    "node": 1, "disk": 2, "daemon": 3, "fault": 5, "writeback": 6,
+}
 _COUNTER_PID = 4
 _PROCESS_NAMES = ((1, "nodes"), (2, "disks"), (3, "daemons"),
-                  (_COUNTER_PID, "timelines"), (5, "faults"))
+                  (_COUNTER_PID, "timelines"), (5, "faults"),
+                  (6, "writeback"))
 
 _MS_TO_US = 1000.0
 
@@ -89,6 +92,11 @@ def to_perfetto(data: ObsData) -> Dict[str, Any]:
         events.append(
             _meta(_TRACK_PIDS["fault"], disk_id, "thread_name",
                   f"fault disk {disk_id}")
+        )
+    for node_id in data.flusher_nodes:
+        events.append(
+            _meta(_TRACK_PIDS["writeback"], node_id, "thread_name",
+                  f"flusher {node_id}")
         )
     events.append(_meta(_COUNTER_PID, 0, "thread_name", "timelines"))
 
@@ -240,14 +248,18 @@ _LANE_STYLES: Tuple[Tuple[str, str, int], ...] = (
     ("wait:self_io", "d", 3),
     ("wait:remote_io", "d", 3),
     ("disk:queue", "q", 3),
+    ("writeback:action", "f", 5),
+    ("writeback:stall", "T", 4),
     ("fault:", "!", 2),
     ("read:", "r", 2),
+    ("write:", "w", 2),
 )
 
 _LEGEND = (
-    "legend: r=read  d=demand-I/O wait  s=sync wait  o=overrun  "
-    "X=disk service  q=disk queue  p=daemon action  B=breaker open  "
-    "F=fail-slow  !=fault event  .=cpu/idle"
+    "legend: r=read  w=write  d=demand-I/O wait  s=sync wait  o=overrun  "
+    "X=disk service  q=disk queue  p=daemon action  f=flusher action  "
+    "T=throttle stall  B=breaker open  F=fail-slow  !=fault event  "
+    ".=cpu/idle"
 )
 
 

@@ -4,9 +4,14 @@
 :class:`~repro.experiments.runner.RunInstrumentation` that attaches
 *passive* observers to the stack as it is built:
 
-* the per-disk ``request_observer`` (queue-wait and service spans),
-* the per-daemon ``action_observer`` (daemon CPU slices),
+* the per-disk ``request_observer`` (queue-wait and service spans —
+  write requests appear with their own kind, for free),
+* the per-daemon ``action_observer`` (daemon CPU slices), and its
+  writeback-flusher sibling (the ``("writeback", node)`` lane),
 * the file server's ``obs_read_observer`` (demand-read spans),
+  ``obs_write_observer`` (write spans), and ``throttle_observer``
+  (foreground dirty-throttle / write-through stalls, also on the
+  writeback lane),
 * a :class:`~repro.obs.timeline.TimelineSampler` step observer that
   snapshots cache occupancy, prefetched-unused count, per-disk queue
   depth, and per-node CPU busy state on sim-time boundaries, and
@@ -80,6 +85,9 @@ class ObsData:
     daemon_nodes: List[int]
     spans: SpanLog
     timelines: TimelineRegistry
+    #: Node ids that ran a writeback flusher daemon (read-write,
+    #: write-back runs only).
+    flusher_nodes: List[int] = field(default_factory=list)
     #: Disk ids with a fault lane (every disk of a faulted run — each
     #: has a breaker — and empty on fault-free runs).
     fault_disks: List[int] = field(default_factory=list)
@@ -115,9 +123,13 @@ class ObsRecorder:
         self._cache: Optional["BlockCache"] = None
         self._sampler: Optional[TimelineSampler] = None
         self._daemon_nodes: List[int] = []
+        self._flusher_nodes: List[int] = []
         self._reads = self.timelines.counter("reads.completed")
         self._actions = self.timelines.counter("prefetch.actions")
         self._read_latency = self.timelines.histogram("read.latency")
+        self._writes = self.timelines.counter("writes.completed")
+        self._flush_actions = self.timelines.counter("writeback.actions")
+        self._write_latency = self.timelines.histogram("write.latency")
 
     # -- RunInstrumentation hooks ---------------------------------------------
 
@@ -136,6 +148,9 @@ class ObsRecorder:
             "cache.prefetched_unused",
             lambda: float(cache.unused_prefetched),
         )
+        self.timelines.register_gauge(
+            "cache.dirty", lambda: float(cache.dirty_count)
+        )
         for disk in machine.disks:
             disk.request_observer = self._on_disk_request
             self.timelines.register_gauge(
@@ -148,6 +163,9 @@ class ObsRecorder:
             if node.daemon is not None:
                 node.daemon.action_observer = self._on_daemon_action
                 self._daemon_nodes.append(node.node_id)
+            if node.flusher is not None:
+                node.flusher.action_observer = self._on_flusher_action
+                self._flusher_nodes.append(node.node_id)
         self._sampler = TimelineSampler(
             self.timelines, self.config.sample_interval
         )
@@ -160,6 +178,8 @@ class ObsRecorder:
         apps: List["Process"],
     ) -> None:
         server.obs_read_observer = self._on_read
+        server.obs_write_observer = self._on_write
+        server.throttle_observer = self._on_throttle
 
     # -- passive observers ----------------------------------------------------
 
@@ -186,6 +206,53 @@ class ObsRecorder:
         )
         self._reads.inc()
         self._read_latency.observe(latency)
+
+    def _on_write(
+        self,
+        node_id: int,
+        block: int,
+        outcome: str,
+        latency: float,
+        ref_index: int,
+    ) -> None:
+        env = self._env
+        if env is None:  # pragma: no cover - hooks precede any write
+            return
+        now = env.now
+        self.spans.add(
+            ("node", node_id),
+            f"write b{block}",
+            f"write:{outcome}",
+            now - latency,
+            now,
+            block=block,
+            ref_index=ref_index,
+        )
+        self._writes.inc()
+        self._write_latency.observe(latency)
+
+    def _on_throttle(
+        self, node_id: int, start: float, end: float, reason: str
+    ) -> None:
+        self.spans.add(
+            ("writeback", node_id),
+            f"stall:{reason}",
+            "writeback:stall",
+            start,
+            end,
+        )
+
+    def _on_flusher_action(
+        self, node_id: int, start: float, end: float, outcome: str
+    ) -> None:
+        self.spans.add(
+            ("writeback", node_id),
+            outcome,
+            "writeback:action",
+            start,
+            end,
+        )
+        self._flush_actions.inc()
 
     def _on_disk_request(
         self, disk_id: int, request: "DiskRequest"
@@ -279,6 +346,7 @@ class ObsRecorder:
             daemon_nodes=list(self._daemon_nodes),
             spans=self.spans,
             timelines=self.timelines,
+            flusher_nodes=list(self._flusher_nodes),
             fault_disks=fault_disks,
             attribution=list(result.node_attribution),
             digest=result.obs_digest

@@ -33,7 +33,12 @@ shrink (multiplicative, ``shrink_factor`` per signal)
       signals on fault-aware runs (a disk's circuit breaker tripped, the
       online fail-slow detector flagged a disk, a supervised fetch had
       to be retried): speculative readahead against degraded storage is
-      pure queue pressure, so the global scope backs off.
+      pure queue pressure, so the global scope backs off;
+    * ``dirty_pressure`` — on read-write runs, the dirty population
+      crossed the background-flush threshold: dirty buffers are
+      unevictable and the writeback flusher is about to compete for the
+      prefetch daemon's idle windows, so the global scope backs off
+      (once per excursion, see the policy's latch).
 
 The controller is pure arithmetic on simulation-delivered signals: no
 randomness, no wall clock — identical runs see identical signal
@@ -56,6 +61,7 @@ SHRINK_SIGNALS = (
     "breaker_open",
     "fail_slow",
     "fault_retry",
+    "dirty_pressure",
 )
 
 

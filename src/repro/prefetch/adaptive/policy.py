@@ -34,6 +34,13 @@ already keeps, none is invented:
   shrink, and un-claim the block so it may be re-prefetched.
 * *budget pressure*: the cache calls :meth:`abort` when an action fails
   on ``budget_full``/``no_buffer`` → shrink.
+* *dirty pressure* (read-write runs only): the cache's
+  ``write_pressure_observer`` fires as writes dirty buffers; when the
+  dirty population crosses the background-flush threshold the global
+  scope shrinks once per excursion (``dirty_pressure``) — prefetched
+  blocks and dirty blocks compete for the same buffers, and the flusher
+  is about to contend for the same idle CPU windows.  Read-only runs
+  never fire the hook, so the signal is strictly inert there.
 
 Fault awareness (on by default, strictly inert on healthy runs): when
 the run carries a :class:`~repro.faults.layer.ResilienceLayer`, the
@@ -183,6 +190,9 @@ class AdaptivePolicy(_ClaimingPolicy):
         }
         #: Idle periods of each node already folded into the feedback.
         self._idle_seen = [0] * n_nodes
+        #: Latched while the dirty population sits above the background
+        #: threshold, so one excursion books one shrink, not one per write.
+        self._dirty_over = False
         #: Set in :meth:`bind` when fault-aware and the run is faulted.
         self._resilience: Optional["ResilienceLayer"] = None
 
@@ -198,6 +208,7 @@ class AdaptivePolicy(_ClaimingPolicy):
     def bind(self, cache: "BlockCache") -> None:
         super().bind(cache)
         cache.unused_prefetch_observer = self._on_unused_prefetch
+        cache.write_pressure_observer = self._on_write_pressure
         if self.config.fault_aware and cache.resilience is not None:
             self._resilience = cache.resilience
             cache.resilience.signal_observer = self._on_resilience_signal
@@ -287,6 +298,25 @@ class AdaptivePolicy(_ClaimingPolicy):
                 self._controllers[issuer].shrink(shrink)
         elif node_id is not None and 0 <= node_id < self.n_nodes:
             self._controllers[node_id].shrink(shrink)
+
+    def _on_write_pressure(
+        self, node_id: int, dirty_count: int, background_limit: int
+    ) -> None:
+        """Dirty-pressure AIMD input (the cache's
+        ``write_pressure_observer`` hook, read-write runs only).  Dirty
+        buffers are unevictable until flushed, so a dirty population past
+        the background threshold squeezes the very buffers prefetching
+        fills — and the flusher daemon is about to start competing for
+        the idle windows the prefetch daemon lives on.  The global scope
+        shrinks once per excursion above the threshold; the latch re-arms
+        when a later write observes the population back at or below it.
+        Pure arithmetic: passive-safe."""
+        if dirty_count > background_limit:
+            if not self._dirty_over:
+                self._dirty_over = True
+                self._global_controller.shrink("dirty_pressure")
+        else:
+            self._dirty_over = False
 
     def _on_resilience_signal(self, kind: str, disk_id: int) -> None:
         """Resilience-layer fan-out (fault-aware runs only): breaker

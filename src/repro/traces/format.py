@@ -1,9 +1,10 @@
 """The portable, versioned replay-trace format.
 
 A *replay trace* is a complete description of one workload as the
-simulator would drive it: per-node timelines of block reads, the compute
-gap that follows each read, portion structure for the prefetch policies,
-and the synchronization visits each read triggered.  Unlike the
+simulator would drive it: per-node timelines of block accesses (reads
+and, since version 2, writes), the compute gap that follows each access,
+portion structure for the prefetch policies, and the synchronization
+visits each access triggered.  Unlike the
 observational :class:`repro.fs.trace.Trace` (which only records what the
 cache saw), a replay trace is *closed-loop replayable* — read latencies,
 hit waits, disk queueing, and barrier waits are not stored but re-emerge
@@ -17,10 +18,13 @@ File layout (JSON lines)::
 
 The header's ``meta`` object is a :class:`TraceMeta`.  Records carry the
 replay-essential fields (``node``, ``block``, ``compute``, ``portion``,
-``sync_joins``) plus optional provenance from the recording run
-(``time``, ``outcome``, ``latency``, ``ref_index``).  Unknown fields are
-rejected with a clear :class:`~repro.fs.trace.TraceFormatError` so format
-drift never passes silently.
+``sync_joins``, and since version 2 ``op`` — ``"r"`` or ``"w"``) plus
+optional provenance from the recording run (``time``, ``outcome``,
+``latency``, ``ref_index``).  Unknown fields are rejected with a clear
+:class:`~repro.fs.trace.TraceFormatError` so format drift never passes
+silently.  Version-1 files (read-only vocabulary, no ``op`` field) still
+load; a file *claiming* version 1 while holding write records is
+rejected — writes are a version-2 concept.
 
 Per-node replay order is the order of a node's records within the file.
 """
@@ -46,7 +50,12 @@ __all__ = [
 ]
 
 REPLAY_TRACE_KIND = "replay"
-REPLAY_TRACE_VERSION = 1
+#: Version 2 added the per-record ``op`` field ("r" | "w").  Version-1
+#: files still load (every record is a read).
+REPLAY_TRACE_VERSION = 2
+
+#: Legal values of :attr:`ReplayRecord.op`.
+_OPS = ("r", "w")
 
 #: Trace provenance classes.
 _SOURCES = ("recorded", "synthetic", "imported")
@@ -114,16 +123,19 @@ class TraceMeta:
 
 @dataclass(frozen=True)
 class ReplayRecord:
-    """One replayable read: what to fetch, then how long to compute."""
+    """One replayable access: what to touch, then how long to compute."""
 
     node: int
     block: int
-    #: Compute gap after this read completes, ms (CPU held).
+    #: Compute gap after this access completes, ms (CPU held).
     compute: float = 0.0
     #: Portion id; non-decreasing along each node's timeline.
     portion: int = 0
-    #: Barrier visits owed after this read's compute gap.
+    #: Barrier visits owed after this access's compute gap.
     sync_joins: int = 0
+    #: "r" (demand read) or "w" (whole-block overwrite).  Version-1
+    #: records carry no ``op`` and default to "r".
+    op: str = "r"
 
     # Provenance from the recording run (not used by replay).
     #: Completion time observed when recording (-1 if not recorded).
@@ -194,12 +206,17 @@ class ReplayTrace:
 
         Raises :class:`TraceFormatError` on the first violation: node id
         out of range, block outside the file, negative compute gap or
-        join count, or a node timeline whose portion ids decrease.
+        join count, an unknown op, or a node timeline whose portion ids
+        decrease.
         """
         meta = self.meta
         last_portion: List[Optional[int]] = [None] * meta.n_nodes
         for i, rec in enumerate(self.records):
             where = f"record {i}"
+            if rec.op not in _OPS:
+                raise TraceFormatError(
+                    f"{where}: unknown op {rec.op!r}; pick from {_OPS}"
+                )
             if not 0 <= rec.node < meta.n_nodes:
                 raise TraceFormatError(
                     f"{where}: node {rec.node} outside 0..{meta.n_nodes - 1}"
@@ -254,6 +271,7 @@ class ReplayTrace:
         """
         path = Path(path)
         meta: Optional[TraceMeta] = None
+        version: Optional[int] = None
         records: List[ReplayRecord] = []
         with path.open("r", encoding="utf-8") as fh:
             for lineno, line in enumerate(fh, start=1):
@@ -261,14 +279,12 @@ class ReplayTrace:
                 if not line:
                     continue
                 if meta is None:
-                    if (
-                        parse_header(
-                            line,
-                            kind=REPLAY_TRACE_KIND,
-                            max_version=REPLAY_TRACE_VERSION,
-                        )
-                        is None
-                    ):
+                    version = parse_header(
+                        line,
+                        kind=REPLAY_TRACE_KIND,
+                        max_version=REPLAY_TRACE_VERSION,
+                    )
+                    if version is None:
                         raise TraceFormatError(
                             f"{path}:{lineno}: not a replay trace (missing "
                             f"'{TRACE_FORMAT_NAME}' header line)"
@@ -280,9 +296,16 @@ class ReplayTrace:
                         raise TraceFormatError(f"{path}:{lineno}: {exc}")
                     continue
                 try:
-                    records.append(ReplayRecord.from_json(line))
+                    record = ReplayRecord.from_json(line)
                 except TraceFormatError as exc:
                     raise TraceFormatError(f"{path}:{lineno}: {exc}")
+                if record.op == "w" and version is not None and version < 2:
+                    raise TraceFormatError(
+                        f"{path}:{lineno}: write record in a version-"
+                        f"{version} replay trace; writes (op=\"w\") need "
+                        f"version 2 — fix the header or re-export"
+                    )
+                records.append(record)
         if meta is None:
             raise TraceFormatError(f"{path}: empty trace file (no header)")
         trace = cls(meta, records)
@@ -303,10 +326,14 @@ class ReplayTrace:
 
         Each node's timeline becomes its private reference string, which
         lets the whole prefetch-policy stack (oracle, OBL, portion,
-        global-seq) run unmodified over a replayed workload.
+        global-seq) run unmodified over a replayed workload.  Write
+        records become ``ops`` entries; a trace with no writes yields
+        ``ops=None`` so read-only replays stay on the read-only path.
         """
         strings: List[np.ndarray] = []
         portions: List[np.ndarray] = []
+        ops: List[np.ndarray] = []
+        any_writes = False
         for timeline in self.timelines():
             strings.append(
                 np.array([r.block for r in timeline], dtype=np.int64)
@@ -314,6 +341,12 @@ class ReplayTrace:
             portions.append(
                 np.array([r.portion for r in timeline], dtype=np.int64)
             )
+            node_ops = np.array(
+                [1 if r.op == "w" else 0 for r in timeline], dtype=np.int64
+            )
+            ops.append(node_ops)
+            if len(node_ops) and node_ops.any():
+                any_writes = True
         return AccessPattern(
             name=f"trace:{self.meta.workload}",
             scope="local",
@@ -321,6 +354,7 @@ class ReplayTrace:
             strings=strings,
             portions=portions,
             crosses_portions=self.meta.crosses_portions,
+            ops=ops if any_writes else None,
         )
 
     # -- summaries --------------------------------------------------------------
@@ -345,6 +379,7 @@ class ReplayTrace:
             "workload": self.meta.workload,
             "source": self.meta.source,
             "n_records": n,
+            "n_writes": sum(1 for r in self.records if r.op == "w"),
             "n_nodes": self.meta.n_nodes,
             "file_blocks": self.meta.file_blocks,
             "distinct_blocks": len(counts),

@@ -4,13 +4,14 @@ The recorder taps two existing seams, both passive (no events, no
 randomness — a recorded run's event schedule is bit-for-bit identical to
 an unrecorded one):
 
-* :attr:`repro.fs.fileserver.FileServer.read_observer` — fires as each
-  demand read completes, giving the observed outcome/latency/time;
+* :attr:`repro.fs.fileserver.FileServer.read_observer` (and its write
+  sibling ``write_observer``) — fire as each demand access completes,
+  giving the observed outcome/latency/time;
 * the :class:`~repro.workload.application.TimelineObserver` hooks inside
   the application loop — giving the claimed reference, the compute gap
   actually drawn, and the number of barrier visits that followed.
 
-Per node the two interleave strictly (one outstanding read per node:
+Per node the two interleave strictly (one outstanding access per node:
 completion, then claim bookkeeping, then compute, then joins), so merging
 them is a constant-space pairing, not a post-hoc join.
 
@@ -62,7 +63,7 @@ class TraceRecorder:
         #: Simulation environment, captured when the first app is wired.
         self._env: Optional["Environment"] = None
 
-    # -- FileServer.read_observer ------------------------------------------------
+    # -- FileServer.read_observer / write_observer -------------------------------
 
     def on_read_complete(
         self,
@@ -75,21 +76,30 @@ class TraceRecorder:
         now = self._env.now if self._env is not None else -1.0
         self._completed[node_id] = (block, outcome, latency, now)
 
+    # The write observer carries the identical tuple; per-node strict
+    # interleaving means one pending slot serves both.
+    on_write_complete = on_read_complete
+
     # -- TimelineObserver --------------------------------------------------------
 
-    def on_read(
-        self, node_id: int, ref_index: int, block: int, portion: int
+    def _claim(
+        self,
+        node_id: int,
+        ref_index: int,
+        block: int,
+        portion: int,
+        op: str,
     ) -> None:
         pending = self._completed.pop(node_id, None)
         if pending is None:
             raise TraceFormatError(
                 f"recorder saw a claim for node {node_id} with no completed "
-                "read (is the FileServer observer attached?)"
+                "access (is the FileServer observer attached?)"
             )
         seen_block, outcome, latency, time = pending
         if seen_block != block:
             raise TraceFormatError(
-                f"recorder block mismatch on node {node_id}: read {seen_block}"
+                f"recorder block mismatch on node {node_id}: saw {seen_block}"
                 f" but application claimed {block}"
             )
         self._open[node_id] = len(self._records)
@@ -100,12 +110,23 @@ class TraceRecorder:
                 compute=0.0,
                 portion=portion,
                 sync_joins=0,
+                op=op,
                 time=time,
                 outcome=outcome,
                 latency=latency,
                 ref_index=ref_index,
             )
         )
+
+    def on_read(
+        self, node_id: int, ref_index: int, block: int, portion: int
+    ) -> None:
+        self._claim(node_id, ref_index, block, portion, "r")
+
+    def on_write(
+        self, node_id: int, ref_index: int, block: int, portion: int
+    ) -> None:
+        self._claim(node_id, ref_index, block, portion, "w")
 
     def _amend(self, node_id: int, **changes: object) -> None:
         idx = self._open.get(node_id)
@@ -131,6 +152,7 @@ class TraceRecorder:
         file-server observer and wraps the standard application."""
         self._env = node.env
         server.read_observer = self.on_read_complete
+        server.write_observer = self.on_write_complete
         return application(
             node,
             server,

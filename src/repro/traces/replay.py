@@ -102,7 +102,8 @@ def replay_application(
     """Generator for one node's trace-driven user process.
 
     Mirrors :func:`repro.workload.application.application` step for step —
-    read, compute, synchronize — but the block order, compute gaps, and
+    access (read or, for version-2 write records, whole-block write),
+    compute, synchronize — but the block order, ops, compute gaps, and
     sync visits come from ``timeline`` rather than a pattern and RNG, so a
     replayed run schedules the same event sequence the recorded run did.
     """
@@ -122,7 +123,10 @@ def replay_application(
                 f"pattern says block {block}, trace says {rec.block}"
             )
 
-        cpu = yield from server.read_block(node, cpu, block, idx)
+        if rec.op == "w":
+            cpu = yield from server.write_block(node, cpu, block, idx)
+        else:
+            cpu = yield from server.read_block(node, cpu, block, idx)
         tracker.mark_consumed(node_id, idx)
 
         if rec.compute > 0.0:

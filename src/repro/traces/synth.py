@@ -26,6 +26,11 @@ actually exhibit:
     third bursty, one third skewed — the multi-workload analogue of the
     paper's hybrid-pattern remark (Section IV-B).
 
+Any generator turns read-write with ``write_fraction``: that fraction of
+each node's accesses (Bernoulli, dedicated stream) becomes whole-block
+writes, exercising the writeback subsystem (:mod:`repro.fs.writeback`)
+under irregular timing the six paper patterns never produce.
+
 Every draw flows through named :class:`~repro.sim.rng.RandomStreams`
 streams, so a generator's output is a pure function of its parameters and
 seed.
@@ -33,7 +38,7 @@ seed.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -52,10 +57,13 @@ def _finish_node(
     portions: List[int],
     computes: List[float],
     sync_every: int,
+    ops: Optional[List[int]] = None,
 ) -> None:
     """Assemble one node's timeline, adding per-proc-style sync visits."""
     reads = 0
-    for block, portion, compute in zip(blocks, portions, computes):
+    for idx, (block, portion, compute) in enumerate(
+        zip(blocks, portions, computes)
+    ):
         reads += 1
         joins = 1 if sync_every > 0 and reads % sync_every == 0 else 0
         records.append(
@@ -65,6 +73,7 @@ def _finish_node(
                 compute=compute,
                 portion=portion,
                 sync_joins=joins,
+                op="w" if ops is not None and ops[idx] else "r",
             )
         )
 
@@ -206,13 +215,17 @@ def make_synthetic_trace(
     think_factor: float = 8.0,
     phase_length: int = 20,
     zipf_alpha: float = 1.1,
+    write_fraction: float = 0.0,
 ) -> ReplayTrace:
     """Generate one synthetic replay trace.
 
     Parameters mirror the paper's sizing defaults (20 nodes, 2000-block
     file, ~100 reads per process, 30 ms compute).  ``sync_every`` adds a
     per-proc-style barrier visit after every that-many reads per node
-    (0 = no synchronization).
+    (0 = no synchronization).  ``write_fraction`` converts that fraction
+    of each node's accesses (Bernoulli per access, own RNG stream) into
+    whole-block writes; 0 draws nothing and reproduces the read-only
+    traces bit for bit.
     """
     if kind not in GENERATOR_NAMES:
         raise ValueError(
@@ -226,12 +239,16 @@ def make_synthetic_trace(
         raise ValueError("reads_per_node must be positive")
     if sync_every < 0:
         raise ValueError("sync_every must be non-negative")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must be in [0, 1]")
 
     rng = RandomStreams(seed)
     params: Dict[str, object] = {
         "reads_per_node": reads_per_node,
         "sync_every": sync_every,
     }
+    if write_fraction > 0.0:
+        params["write_fraction"] = write_fraction
     #: Sequential-ish generators let policies run ahead; skew/random do not.
     crosses = kind in ("bursty", "phased")
     records: List[ReplayRecord] = []
@@ -276,7 +293,20 @@ def make_synthetic_trace(
                     cdf,
                 )
             params.update(zipf_alpha=zipf_alpha)
-        _finish_node(records, node, blocks, portions, computes, sync_every)
+        ops: Optional[List[int]] = None
+        if write_fraction > 0.0:
+            # Own stream, drawn only when asked: write_fraction=0 makes
+            # zero draws and reproduces the read-only trace exactly.
+            ops = [
+                int(
+                    rng.uniform(f"traces/writes/node{node}", 0.0, 1.0)
+                    < write_fraction
+                )
+                for _ in blocks
+            ]
+        _finish_node(
+            records, node, blocks, portions, computes, sync_every, ops
+        )
 
     meta = TraceMeta(
         workload=kind,

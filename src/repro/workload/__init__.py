@@ -2,7 +2,14 @@
 the application process, and the paper's experiment mix."""
 
 from .application import application
-from .patterns import PATTERN_NAMES, AccessPattern, make_hybrid, make_pattern
+from .patterns import (
+    ALL_PATTERN_NAMES,
+    PATTERN_NAMES,
+    RW_PATTERN_NAMES,
+    AccessPattern,
+    make_hybrid,
+    make_pattern,
+)
 from .progress import ProgressTracker
 from .suite import WorkloadSpec, balanced_compute_mean, standard_suite
 from .synchronization import (
@@ -18,6 +25,8 @@ from .synchronization import (
 
 __all__ = [
     "PATTERN_NAMES",
+    "RW_PATTERN_NAMES",
+    "ALL_PATTERN_NAMES",
     "AccessPattern",
     "make_pattern",
     "make_hybrid",

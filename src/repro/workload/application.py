@@ -36,11 +36,17 @@ class TimelineObserver(Protocol):
     ) -> None:
         """A demand read of ``block`` just completed."""
 
+    def on_write(
+        self, node_id: int, ref_index: int, block: int, portion: int
+    ) -> None:
+        """A write of ``block`` just completed (read-write patterns only;
+        never fired by the six read-only paper patterns)."""
+
     def on_compute(self, node_id: int, delay: float) -> None:
-        """The compute gap drawn for the read just observed."""
+        """The compute gap drawn for the access just observed."""
 
     def on_sync_joins(self, node_id: int, count: int) -> None:
-        """How many barrier visits followed that read's compute gap."""
+        """How many barrier visits followed that access's compute gap."""
 
 
 def application(
@@ -67,6 +73,7 @@ def application(
     env = node.env
     node_id = node.node_id
     portions = pattern.portions_for(node_id)
+    ops = pattern.ops_for(node_id)
     n_refs = len(pattern.string_for(node_id))
 
     cpu = yield from node.acquire_cpu()
@@ -76,11 +83,18 @@ def application(
             break
         idx, block = nxt
 
-        cpu = yield from server.read_block(node, cpu, block, idx)
+        is_write = ops is not None and ops[idx] == 1
+        if is_write:
+            cpu = yield from server.write_block(node, cpu, block, idx)
+        else:
+            cpu = yield from server.read_block(node, cpu, block, idx)
         tracker.mark_consumed(node_id, idx)
         portion_id = int(portions[idx])
         if observer is not None:
-            observer.on_read(node_id, idx, block, portion_id)
+            if is_write:
+                observer.on_write(node_id, idx, block, portion_id)
+            else:
+                observer.on_read(node_id, idx, block, portion_id)
 
         # Simulated per-block computation, holding the CPU.
         delay = rng.exponential(f"compute/node{node_id}", compute_mean)

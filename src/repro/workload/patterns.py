@@ -20,6 +20,20 @@ in the paper.  A pattern is *data*: per-scope reference strings (block
 numbers) plus a parallel array of portion ids, so prefetch policies can
 honour portion boundaries.  Portion ids are non-decreasing along a string.
 
+Read-write extension (docs/writes.md — the 1989 testbed was read-only):
+a pattern may carry a parallel ``ops`` array (0 = read, 1 = whole-block
+write).  Three read-write patterns join the matrix:
+
+========== ====== ========================================================
+``lfp-rw`` local  read-modify-write over lfp geometry: every block of a
+                  node's portions is read, then immediately overwritten
+``gw-rw``  global whole-file sweep where every second block's read is
+                  followed by a write of that block
+``wstream``local  pure write stream: each node overwrites its own private
+                  contiguous slice (no reads — drives dirty accumulation
+                  and the dirty-ratio throttle)
+========== ====== ========================================================
+
 Paper geometry gaps (documented in DESIGN.md §5): the paper does not give
 portion lengths/strides; defaults here are ``portion_length=10``,
 ``portion_stride=21`` for fixed portions and Uniform(4, 16) lengths with
@@ -38,10 +52,23 @@ import numpy as np
 
 from ..sim.rng import RandomStreams
 
-__all__ = ["PATTERN_NAMES", "AccessPattern", "make_pattern", "make_hybrid"]
+__all__ = [
+    "PATTERN_NAMES",
+    "RW_PATTERN_NAMES",
+    "ALL_PATTERN_NAMES",
+    "AccessPattern",
+    "make_pattern",
+    "make_hybrid",
+]
 
 
 PATTERN_NAMES = ("lfp", "lrp", "lw", "gfp", "grp", "gw")
+
+#: Read-write extension patterns (never part of the paper matrix).
+RW_PATTERN_NAMES = ("lfp-rw", "gw-rw", "wstream")
+
+#: Everything :func:`make_pattern` accepts.
+ALL_PATTERN_NAMES = PATTERN_NAMES + RW_PATTERN_NAMES
 
 #: Patterns whose prefetch policy may run ahead across portion boundaries
 #: (regular geometry is predictable; random geometry is not).
@@ -52,6 +79,9 @@ _CROSSES_PORTIONS = {
     "gfp": True,
     "grp": False,
     "gw": True,
+    "lfp-rw": True,
+    "gw-rw": True,
+    "wstream": True,
 }
 
 
@@ -73,6 +103,11 @@ class AccessPattern:
     #: Per-string override of :attr:`crosses_portions` (hybrid patterns
     #: mix regular and irregular constituents); ``None`` = uniform.
     crosses_by_string: Optional[List[bool]] = None
+    #: Operation per reference (0 = read, 1 = whole-block write),
+    #: parallel to ``strings``.  ``None`` = all reads (the paper's
+    #: read-only patterns — and the proof-of-preservation hinge: the
+    #: runner arms the write path only when :attr:`has_writes`).
+    ops: Optional[List[np.ndarray]] = None
 
     def __post_init__(self) -> None:
         if self.scope not in ("local", "global"):
@@ -91,6 +126,14 @@ class AccessPattern:
                 raise ValueError("block number out of file range")
             if len(p) > 1 and np.any(np.diff(p) < 0):
                 raise ValueError("portion ids must be non-decreasing")
+        if self.ops is not None:
+            if len(self.ops) != len(self.strings):
+                raise ValueError("strings/ops length mismatch")
+            for s, o in zip(self.strings, self.ops):
+                if len(s) != len(o):
+                    raise ValueError("string and op arrays differ in length")
+                if len(o) and not np.isin(o, (0, 1)).all():
+                    raise ValueError("ops must be 0 (read) or 1 (write)")
 
     @property
     def total_reads(self) -> int:
@@ -114,6 +157,26 @@ class AccessPattern:
         return self.crosses_by_string[
             node_id if self.scope == "local" else 0
         ]
+
+    def ops_for(self, node_id: int) -> Optional[np.ndarray]:
+        """Op array for the string ``node_id`` consumes (None = all reads)."""
+        if self.ops is None:
+            return None
+        return self.ops[node_id if self.scope == "local" else 0]
+
+    @property
+    def has_writes(self) -> bool:
+        """Does any reference write?  Gates all write-path wiring: a
+        pattern without writes runs the exact pre-write code paths."""
+        return self.ops is not None and any(
+            len(o) and o.any() for o in self.ops
+        )
+
+    @property
+    def total_writes(self) -> int:
+        if self.ops is None:
+            return 0
+        return int(sum(int(o.sum()) for o in self.ops))
 
 
 def _fixed_portion_string(
@@ -194,8 +257,10 @@ def make_pattern(
     rng:
         Random streams (required for ``lrp``/``grp``).
     """
-    if name not in PATTERN_NAMES:
-        raise ValueError(f"unknown pattern {name!r}; pick from {PATTERN_NAMES}")
+    if name not in ALL_PATTERN_NAMES:
+        raise ValueError(
+            f"unknown pattern {name!r}; pick from {ALL_PATTERN_NAMES}"
+        )
     if n_nodes <= 0:
         raise ValueError("n_nodes must be positive")
     if file_blocks <= 0:
@@ -205,6 +270,11 @@ def make_pattern(
         raise ValueError("total_reads must be positive")
     if name in ("lrp", "grp") and rng is None:
         raise ValueError(f"pattern {name!r} requires an rng")
+
+    if name in RW_PATTERN_NAMES:
+        return _make_rw_pattern(
+            name, n_nodes, file_blocks, total, portion_length, portion_stride
+        )
 
     crosses = _CROSSES_PORTIONS[name]
     scope = "local" if name in ("lfp", "lrp", "lw") else "global"
@@ -268,6 +338,78 @@ def make_pattern(
         strings=[b],
         portions=[p],
         crosses_portions=crosses,
+    )
+
+
+def _make_rw_pattern(
+    name: str,
+    n_nodes: int,
+    file_blocks: int,
+    total: int,
+    portion_length: int,
+    portion_stride: int,
+) -> AccessPattern:
+    """Materialize one of the read-write extension patterns.  ``total``
+    budgets *references* (reads + writes), matching the read-only
+    patterns' interpretation of ``total_reads``."""
+    if name == "gw-rw":
+        # Whole-file sweep; every second block's read is followed by a
+        # write of the same block (a 2:1 read:write mix with the gw
+        # geometry, so prefetching still has a sequential stream).
+        sweep = min(max(total * 2 // 3, 1), file_blocks)
+        blocks_list: List[int] = []
+        ops_list: List[int] = []
+        for i in range(sweep):
+            blocks_list.append(i)
+            ops_list.append(0)
+            if i % 2 == 0:
+                blocks_list.append(i)
+                ops_list.append(1)
+        b = np.array(blocks_list, dtype=np.int64)
+        o = np.array(ops_list, dtype=np.int64)
+        p = np.zeros(len(b), dtype=np.int64)
+        return AccessPattern(
+            name=name,
+            scope="global",
+            file_blocks=file_blocks,
+            strings=[b],
+            portions=[p],
+            crosses_portions=_CROSSES_PORTIONS[name],
+            ops=[o],
+        )
+
+    per_node = total // n_nodes
+    if per_node <= 0:
+        raise ValueError(f"total_reads {total} too small for {n_nodes} nodes")
+    strings, portions, ops = [], [], []
+    for node in range(n_nodes):
+        if name == "lfp-rw":
+            # Read-modify-write over lfp geometry: each block of the
+            # node's portions is read, then immediately overwritten.
+            base_refs = max(per_node // 2, 1)
+            base = (node * file_blocks) // n_nodes + node
+            b0, p0 = _fixed_portion_string(
+                base_refs, base, portion_length, portion_stride, file_blocks
+            )
+            b = np.repeat(b0, 2)
+            p = np.repeat(p0, 2)
+            o = np.tile(np.array([0, 1], dtype=np.int64), base_refs)
+        else:  # wstream: pure writes over a private contiguous slice
+            start = (node * file_blocks) // n_nodes
+            b = ((start + np.arange(per_node)) % file_blocks).astype(np.int64)
+            p = np.zeros(per_node, dtype=np.int64)
+            o = np.ones(per_node, dtype=np.int64)
+        strings.append(b)
+        portions.append(p)
+        ops.append(o)
+    return AccessPattern(
+        name=name,
+        scope="local",
+        file_blocks=file_blocks,
+        strings=strings,
+        portions=portions,
+        crosses_portions=_CROSSES_PORTIONS[name],
+        ops=ops,
     )
 
 

@@ -1,0 +1,62 @@
+"""The writeback-under-fail-slow chaos scenario and rw tournament cells."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    TournamentSpec,
+    chaos_writeback_fail_slow,
+    run_tournament,
+)
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return chaos_writeback_fail_slow(cache=None)
+
+
+def test_all_checks_pass(figure):
+    assert figure.checks, "scenario produced no checks"
+    failed = [name for name, ok in figure.checks.items() if not ok]
+    assert not failed, f"failed checks: {failed}"
+
+
+def test_scenario_rows_cover_healthy_and_faulted(figure):
+    scenarios = [row[0] for row in figure.rows]
+    assert scenarios == ["healthy", "fail-slow"]
+    columns = dict(zip(figure.columns, zip(*figure.rows)))
+    # Same workload either way: identical write counts.
+    assert columns["writes"][0] == columns["writes"][1] > 0
+    # The fault slows the run down and provokes retries.
+    assert columns["total (ms)"][1] > columns["total (ms)"][0]
+    assert columns["retries"][1] > columns["retries"][0] == 0
+
+
+def test_no_write_is_lost_under_fail_slow(figure):
+    columns = dict(zip(figure.columns, zip(*figure.rows)))
+    assert columns["flush failures"] == (0, 0)
+
+
+def test_tournament_accepts_rw_cells():
+    spec = TournamentSpec(
+        patterns=("lfp-rw",),
+        policies=("none", "oracle"),
+        base=ExperimentConfig(
+            n_nodes=4,
+            n_disks=4,
+            file_blocks=160,
+            total_reads=160,
+            record_trace=False,
+        ),
+    )
+    league = run_tournament(spec, cache=None)
+    assert len(league.cells) == 2  # one per entrant
+    assert {cell.pattern for cell in league.cells} == {"lfp-rw"}
+    for cell in league.cells:
+        assert cell.result.total_writes > 0
+    assert any(cell.winner for cell in league.cells)
+
+
+def test_tournament_still_rejects_unknown_patterns():
+    with pytest.raises(ValueError, match="unknown pattern"):
+        TournamentSpec(patterns=("lfp-rw", "zigzag"))

@@ -69,3 +69,30 @@ def user_read_many(server, node, blocks, results=None):
         node.release_cpu(cpu)
 
     return proc()
+
+
+def user_write(server, node, block, results=None, ref_index=-1):
+    """Generator: a minimal user process performing one write."""
+
+    def proc():
+        cpu = yield from node.acquire_cpu()
+        cpu = yield from server.write_block(node, cpu, block, ref_index)
+        node.release_cpu(cpu)
+        if results is not None:
+            results.append((node.node_id, block, node.env.now))
+
+    return proc()
+
+
+def user_write_many(server, node, blocks, results=None):
+    """Generator: a user process writing ``blocks`` in order."""
+
+    def proc():
+        cpu = yield from node.acquire_cpu()
+        for block in blocks:
+            cpu = yield from server.write_block(node, cpu, block)
+            if results is not None:
+                results.append((node.node_id, block, node.env.now))
+        node.release_cpu(cpu)
+
+    return proc()

@@ -1,0 +1,70 @@
+"""Write-measure rows in paired reports.
+
+The satellite contract: read-only reports stay byte-identical to their
+pre-write-path form (no write rows at all), while any run that wrote
+gets the :data:`~repro.metrics.report.WRITE_MEASURES` block appended.
+"""
+
+from repro.experiments import ExperimentConfig, run_pair
+from repro.metrics.report import (
+    PAIRED_MEASURES,
+    WRITE_MEASURES,
+    paired_measure_rows,
+    render_table,
+    write_measure_rows,
+)
+
+
+def small_pair(pattern):
+    return run_pair(
+        ExperimentConfig(
+            pattern=pattern,
+            sync_style="none",
+            n_nodes=4,
+            n_disks=4,
+            file_blocks=160,
+            total_reads=160,
+            record_trace=False,
+        )
+    )
+
+
+def test_read_only_report_has_no_write_rows():
+    pf, base = small_pair("lfp")
+    rows = paired_measure_rows(base, pf)
+    assert len(rows) == len(PAIRED_MEASURES)
+    labels = {label for label, _, _ in rows}
+    assert not labels & {label for label, _ in WRITE_MEASURES}
+
+
+def test_rw_report_appends_write_rows():
+    pf, base = small_pair("lfp-rw")
+    rows = paired_measure_rows(base, pf)
+    assert len(rows) == len(PAIRED_MEASURES) + len(WRITE_MEASURES)
+    by_label = {label: (b, p) for label, b, p in rows}
+    b, p = by_label["total writes"]
+    assert b > 0 and p > 0
+    b, p = by_label["flushes"]
+    assert b > 0 and p > 0
+    # The rows render through the shared table path.
+    table = render_table(
+        ("measure", "no-prefetch", "prefetch"), rows
+    )
+    assert "dirty peak (buffers)" in table
+
+
+def test_write_measure_rows_helper_matches_attributes():
+    pf, base = small_pair("wstream")
+    rows = write_measure_rows(base, pf)
+    assert [label for label, _, _ in rows] == [
+        label for label, _ in WRITE_MEASURES
+    ]
+    by_label = {label: (b, p) for label, b, p in rows}
+    assert by_label["total writes"] == (
+        base.total_writes,
+        pf.total_writes,
+    )
+    assert by_label["throttle stall time (ms)"] == (
+        base.throttle_stall_time,
+        pf.throttle_stall_time,
+    )

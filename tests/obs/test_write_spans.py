@@ -1,0 +1,104 @@
+"""Writeback lanes in the obs layer.
+
+A read-write observed run grows ``("writeback", node)`` lanes (flusher
+actions and throttle stalls), write spans on the node lanes, disk write
+spans for free via the request kind, and the ``cache.dirty`` gauge.
+Read-only runs must grow none of it — and observing an rw run must not
+change its event trace (the same passivity tentpole as the rest of the
+obs suite).
+"""
+
+import pytest
+
+from repro.analysis.audit import run_with_audit
+from repro.experiments.config import ExperimentConfig
+from repro.obs import run_with_obs, to_perfetto, validate_perfetto
+
+
+def _config(pattern, **overrides):
+    base = dict(
+        pattern=pattern, sync_style="none", policy="oracle",
+        n_nodes=4, n_disks=4, file_blocks=160, total_reads=160,
+        record_trace=False,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def rw_obs():
+    return run_with_obs(_config("lfp-rw"))
+
+
+def test_rw_run_grows_writeback_lanes(rw_obs):
+    result, data = rw_obs
+    assert data.flusher_nodes == [0, 1, 2, 3]
+    wb_spans = [s for s in data.spans.spans if s.track[0] == "writeback"]
+    assert wb_spans
+    cats = {s.cat for s in wb_spans}
+    assert "writeback:action" in cats
+    assert all(s.track[1] in range(4) for s in wb_spans)
+
+
+def test_rw_run_has_write_spans_on_node_lanes(rw_obs):
+    result, data = rw_obs
+    writes = [
+        s for s in data.spans.spans
+        if s.track[0] == "node" and s.cat.startswith("write:")
+    ]
+    assert len(writes) == result.total_writes
+    assert all(s.name.startswith("write b") for s in writes)
+
+
+def test_rw_run_has_disk_write_spans(rw_obs):
+    result, data = rw_obs
+    disk_writes = [
+        s for s in data.spans.spans
+        if s.track[0] == "disk"
+        and s.cat == "disk:service"
+        and s.args.get("kind") == "write"
+    ]
+    # Every completed flush crossed a disk.
+    assert len(disk_writes) >= result.flush_count > 0
+
+
+def test_dirty_gauge_sampled(rw_obs):
+    result, data = rw_obs
+    series = data.timelines.find("cache.dirty")
+    assert series is not None
+    # Boundary-sampled, so it may miss the instantaneous peak — but it
+    # must see dirtiness, and never more than the metrics high-water.
+    peak = max(v for _, v in series.samples)
+    assert 0 < peak <= result.dirty_peak
+
+
+def test_rw_perfetto_export_is_valid(rw_obs):
+    _, data = rw_obs
+    payload = to_perfetto(data)
+    assert validate_perfetto(payload) == []
+    names = {
+        e["args"]["name"]
+        for e in payload["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert any(n.startswith("flusher ") for n in names)
+
+
+def test_observing_an_rw_run_is_passive():
+    config = _config("gw-rw")
+    off = run_with_audit(config)
+    on = run_with_audit(config, obs=True)
+    assert on.trace_digest == off.trace_digest
+
+
+def test_read_only_run_grows_no_write_lanes():
+    _, data = run_with_obs(_config("lfp"))
+    assert data.flusher_nodes == []
+    assert not [
+        s for s in data.spans.spans
+        if s.track[0] == "writeback" or s.cat.startswith("write")
+    ]
+    # The dirty gauge exists (it is wired unconditionally) but never
+    # leaves zero on a read-only run.
+    series = data.timelines.find("cache.dirty")
+    assert all(v == 0.0 for _, v in series.samples)

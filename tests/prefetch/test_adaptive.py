@@ -496,3 +496,44 @@ def test_nonadaptive_results_have_empty_trajectory():
     )
     assert result.adaptive_distance_trajectory == []
     assert result.adaptive_distance_summary == {}
+
+
+# ------------------------------------------------------- dirty pressure
+
+
+def test_bind_attaches_write_pressure_observer():
+    policy, cache = make_policy()
+    assert cache.write_pressure_observer is not None
+
+
+def test_dirty_pressure_shrinks_global_scope_once_per_excursion():
+    policy, cache = make_policy(initial_distance=8, max_distance=8)
+    before = policy._global_controller.distance
+    # Crossing the background limit latches exactly one shrink...
+    cache.write_pressure_observer(0, 3, 2)
+    cache.write_pressure_observer(0, 4, 2)
+    cache.write_pressure_observer(1, 5, 2)
+    assert policy.signal_counts()["dirty_pressure"] == 1
+    assert policy._global_controller.distance < before
+    # ... until the dirty population falls back below it.
+    cache.write_pressure_observer(0, 2, 2)
+    assert policy.signal_counts()["dirty_pressure"] == 1
+    cache.write_pressure_observer(0, 3, 2)
+    assert policy.signal_counts()["dirty_pressure"] == 2
+
+
+def test_dirty_pressure_ignored_below_background_limit():
+    policy, cache = make_policy()
+    cache.write_pressure_observer(0, 1, 4)
+    cache.write_pressure_observer(0, 2, 4)
+    assert "dirty_pressure" not in policy.signal_counts()
+
+
+def test_adaptive_rw_run_emits_dirty_pressure():
+    """End to end: an adaptive read-write run under default thresholds
+    actually sees the signal (the cell the feedback loop was added for)."""
+    result = run_experiment(
+        ExperimentConfig(pattern="lfp-rw", policy="adaptive", **SMALL)
+    )
+    assert result.total_writes > 0
+    assert result.adaptive_distance_summary  # the loop was live

@@ -236,3 +236,57 @@ def test_report_command(tmp_path, capsys, monkeypatch):
     assert rc == 0
     assert "1/1 checks pass" in capsys.readouterr().out
     assert out_path.exists()
+
+
+_RW_SMALL = [
+    "--nodes", "4", "--disks", "4", "--file-blocks", "160",
+    "--reads", "160", "--compute", "0", "--seed", "2",
+]
+
+
+def test_run_command_rw_pattern_shows_write_measures(capsys):
+    rc = main(["run", "--pattern", "lfp-rw", "--sync", "none", *_RW_SMALL])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "total writes" in out
+    assert "dirty peak (buffers)" in out
+    assert "throttle stalls" in out
+
+
+def test_run_command_read_only_report_has_no_write_rows(capsys):
+    rc = main(["run", "--pattern", "gw", "--sync", "none", *_RW_SMALL])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "total writes" not in out
+
+
+def test_run_write_flags_parse_and_validate():
+    parser = build_parser()
+    args = parser.parse_args([
+        "run", "--pattern", "wstream", "--write-mode", "write-through",
+        "--dirty-ratio", "0.4", "--dirty-background-ratio", "0.1",
+    ])
+    assert args.write_mode == "write-through"
+    assert args.dirty_ratio == 0.4
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--write-mode", "journal"])
+
+
+def test_chaos_writeback_is_a_known_figure():
+    assert "chaos-writeback" in FIGURE_IDS
+
+
+def test_trace_synth_write_fraction(tmp_path, capsys):
+    path = tmp_path / "rw.jsonl"
+    rc = main([
+        "trace", "synth", "bursty", "-o", str(path),
+        "--nodes", "4", "--file-blocks", "200", "--reads", "25",
+        "--seed", "3", "--write-fraction", "0.3",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "writes)" in out
+    rc = main(["trace", "replay", str(path), "--disks", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "total writes" in out

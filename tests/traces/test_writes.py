@@ -1,0 +1,165 @@
+"""Write records in replay traces: format v2, synthesis, and replay.
+
+Covers the three preservation-sensitive properties of adding ``op`` to
+the trace format: old (v1) traces still load as pure reads, a v1 header
+cannot smuggle write records in, and a generator asked for zero writes
+draws zero random numbers (so pre-write-era synthetic traces reproduce
+bit-identically).
+"""
+
+import json
+
+import pytest
+
+from repro.fs.trace import TraceFormatError
+from repro.traces import (
+    ReplayRecord,
+    ReplayTrace,
+    TraceMeta,
+    make_synthetic_trace,
+    replay_pair,
+)
+
+SMALL = dict(n_nodes=4, file_blocks=200, reads_per_node=30)
+
+
+def rw_trace():
+    meta = TraceMeta(workload="unit-rw", n_nodes=2, file_blocks=10)
+    records = [
+        ReplayRecord(node=0, block=3, compute=1.5, portion=0),
+        ReplayRecord(node=0, block=4, compute=0.5, portion=0, op="w"),
+        ReplayRecord(node=1, block=7, compute=0.0, portion=0, op="w"),
+        ReplayRecord(node=1, block=8, compute=2.0, portion=0),
+    ]
+    return ReplayTrace(meta, records)
+
+
+# --------------------------------------------------------------- format
+
+
+def test_op_defaults_to_read():
+    rec = ReplayRecord(node=0, block=1, compute=0.0, portion=0)
+    assert rec.op == "r"
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(TraceFormatError, match="op"):
+        ReplayTrace(
+            TraceMeta(workload="bad", n_nodes=1, file_blocks=10),
+            [ReplayRecord(node=0, block=1, compute=0.0, portion=0, op="x")],
+        ).validate()
+
+
+def test_rw_roundtrip_preserves_ops(tmp_path):
+    trace = rw_trace()
+    path = tmp_path / "rw.jsonl"
+    trace.save(path)
+    back = ReplayTrace.load(path)
+    assert back.records == trace.records
+    assert [r.op for r in back.records] == ["r", "w", "w", "r"]
+    assert back.stats()["n_writes"] == 2
+
+
+def test_v1_trace_loads_as_pure_reads(tmp_path):
+    """Pre-write-era traces carry no ``op`` field; every record must
+    come back as a read."""
+    path = tmp_path / "v1.jsonl"
+    rw_trace().save(path)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["version"] = 1
+    body = []
+    for line in lines[1:]:
+        rec = json.loads(line)
+        rec.pop("op", None)
+        body.append(json.dumps(rec))
+    path.write_text("\n".join([json.dumps(header)] + body) + "\n")
+    back = ReplayTrace.load(path)
+    assert all(r.op == "r" for r in back.records)
+    assert back.stats()["n_writes"] == 0
+
+
+def test_v1_header_cannot_carry_write_records(tmp_path):
+    """A v1 header with an op="w" record is a corrupt or mislabelled
+    file, not a format we silently accept."""
+    path = tmp_path / "bad.jsonl"
+    rw_trace().save(path)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["version"] = 1
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    with pytest.raises(TraceFormatError, match="version 2"):
+        ReplayTrace.load(path)
+
+
+def test_to_pattern_carries_write_ops():
+    pattern = rw_trace().to_pattern()
+    assert pattern.has_writes
+    assert pattern.total_writes == 2
+    read_only = ReplayTrace(
+        TraceMeta(workload="ro", n_nodes=1, file_blocks=10),
+        [ReplayRecord(node=0, block=1, compute=0.0, portion=0)],
+    ).to_pattern()
+    assert not read_only.has_writes
+
+
+# ------------------------------------------------------------ synthesis
+
+
+def test_write_fraction_zero_is_the_default_and_draws_nothing():
+    """wf=0 must not merely produce zero writes — it must consume zero
+    RNG draws, so read-only synthesis is bit-identical to the
+    pre-write-era generator."""
+    plain = make_synthetic_trace("bursty", seed=3, **SMALL)
+    explicit = make_synthetic_trace(
+        "bursty", seed=3, write_fraction=0.0, **SMALL
+    )
+    assert plain.records == explicit.records
+    assert "write_fraction" not in plain.meta.extra["params"]
+    assert all(r.op == "r" for r in plain.records)
+
+
+def test_write_fraction_marks_roughly_that_many_writes():
+    trace = make_synthetic_trace(
+        "bursty", seed=3, write_fraction=0.3, **SMALL
+    )
+    trace.validate()
+    n = len(trace)
+    n_writes = trace.stats()["n_writes"]
+    assert 0.15 * n < n_writes < 0.45 * n
+    assert trace.meta.extra["params"]["write_fraction"] == 0.3
+    # The read-side structure (blocks, computes) is untouched: writes
+    # are an overlay, drawn from a dedicated RNG stream.
+    plain = make_synthetic_trace("bursty", seed=3, **SMALL)
+    assert [r.block for r in trace.records] == [
+        r.block for r in plain.records
+    ]
+    assert [r.compute for r in trace.records] == [
+        r.compute for r in plain.records
+    ]
+
+
+def test_write_fraction_is_seed_stable():
+    a = make_synthetic_trace("mixed", seed=9, write_fraction=0.5, **SMALL)
+    b = make_synthetic_trace("mixed", seed=9, write_fraction=0.5, **SMALL)
+    assert a.records == b.records
+
+
+def test_write_fraction_validation():
+    with pytest.raises(ValueError, match="write_fraction"):
+        make_synthetic_trace("bursty", seed=1, write_fraction=1.5, **SMALL)
+    with pytest.raises(ValueError, match="write_fraction"):
+        make_synthetic_trace("bursty", seed=1, write_fraction=-0.1, **SMALL)
+
+
+# --------------------------------------------------------------- replay
+
+
+def test_rw_trace_replays_through_the_write_path():
+    trace = make_synthetic_trace(
+        "bursty", seed=3, write_fraction=0.3, **SMALL
+    )
+    _, result = replay_pair(trace)
+    assert result.total_writes == trace.stats()["n_writes"]
+    assert result.flush_count > 0
+    assert result.dirty_peak > 0

@@ -1,0 +1,110 @@
+"""Tests for the read-write extension patterns (lfp-rw, gw-rw, wstream).
+
+These are not paper patterns — the 1989 testbed is read-only — so they
+live behind :data:`RW_PATTERN_NAMES`, separate from the six canonical
+names, and every read-only pattern must materialize with ``ops=None``
+(the proof-of-preservation hinge: the runner arms the write path only
+when ``has_writes``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams
+from repro.workload import (
+    ALL_PATTERN_NAMES,
+    PATTERN_NAMES,
+    RW_PATTERN_NAMES,
+    make_pattern,
+)
+
+
+def rng():
+    return RandomStreams(7)
+
+
+def test_name_registries_partition():
+    assert set(ALL_PATTERN_NAMES) == set(PATTERN_NAMES) | set(
+        RW_PATTERN_NAMES
+    )
+    assert not set(PATTERN_NAMES) & set(RW_PATTERN_NAMES)
+    assert RW_PATTERN_NAMES == ("lfp-rw", "gw-rw", "wstream")
+
+
+@pytest.mark.parametrize("name", PATTERN_NAMES)
+def test_read_only_patterns_carry_no_ops(name):
+    pattern = make_pattern(name, n_nodes=4, rng=rng())
+    assert pattern.ops is None
+    assert not pattern.has_writes
+    assert pattern.total_writes == 0
+    assert pattern.ops_for(0) is None
+
+
+@pytest.mark.parametrize("name", RW_PATTERN_NAMES)
+def test_rw_patterns_write_and_validate(name):
+    pattern = make_pattern(
+        name, n_nodes=4, file_blocks=400, total_reads=400
+    )
+    assert pattern.has_writes
+    assert pattern.total_writes > 0
+    assert pattern.ops is not None
+    # ops arrays are parallel to the reference strings (validated in
+    # __post_init__, but assert the shape contract explicitly).
+    for s, o in zip(pattern.strings, pattern.ops):
+        assert len(s) == len(o)
+        assert set(np.unique(o)) <= {0, 1}
+
+
+def test_lfp_rw_is_read_modify_write():
+    pattern = make_pattern(
+        "lfp-rw", n_nodes=4, file_blocks=400, total_reads=400
+    )
+    assert pattern.scope == "local"
+    for node in range(4):
+        blocks = pattern.string_for(node)
+        ops = pattern.ops_for(node)
+        # Each block appears as a read immediately followed by a write
+        # of the same block.
+        assert np.array_equal(blocks[0::2], blocks[1::2])
+        assert not ops[0::2].any()
+        assert ops[1::2].all()
+
+
+def test_gw_rw_is_global_with_sequential_read_stream():
+    pattern = make_pattern(
+        "gw-rw", n_nodes=4, file_blocks=400, total_reads=300
+    )
+    assert pattern.scope == "global"
+    blocks = pattern.string_for(0)
+    ops = pattern.ops_for(0)
+    reads = blocks[ops == 0]
+    # The read sub-stream is still the gw sweep: strictly sequential.
+    assert np.array_equal(reads, np.arange(len(reads)))
+    # Every write overwrites a block just read.
+    writes = blocks[ops == 1]
+    assert np.isin(writes, reads).all()
+
+
+def test_wstream_is_pure_writes_on_private_slices():
+    pattern = make_pattern(
+        "wstream", n_nodes=4, file_blocks=400, total_reads=400
+    )
+    assert pattern.scope == "local"
+    for node in range(4):
+        ops = pattern.ops_for(node)
+        assert ops.all(), "wstream must be write-only"
+    # Private slices: no block shared between nodes.
+    slices = [set(pattern.string_for(n).tolist()) for n in range(4)]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not slices[i] & slices[j]
+
+
+def test_rw_pattern_reference_budget():
+    """``total_reads`` budgets references (reads + writes), like the
+    read-only patterns."""
+    for name in ("lfp-rw", "wstream"):
+        pattern = make_pattern(
+            name, n_nodes=4, file_blocks=400, total_reads=400
+        )
+        assert pattern.total_reads == pytest.approx(400, abs=8)
